@@ -1,0 +1,229 @@
+// Command dapsim runs a single memory-hierarchy simulation and prints the
+// measured statistics: per-core IPC, weighted speedup inputs, memory-side
+// cache behaviour, CAS fractions and DAP decision counts.
+//
+// Examples:
+//
+//	dapsim -workload mcf -policy dap
+//	dapsim -workload omnetpp -arch alloy -policy dap -instr 2000000
+//	dapsim -mix hetero-dis-03 -policy batman
+//	dapsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dap"
+	"dap/internal/stats"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list workloads and mixes, then exit")
+		wl      = flag.String("workload", "mcf", "rate-mode workload name")
+		mixName = flag.String("mix", "", "heterogeneous mix name (overrides -workload)")
+		arch    = flag.String("arch", "sectored", "memory-side cache: sectored | alloy | edram | none")
+		policy  = flag.String("policy", "baseline", "policy: baseline | dap | dap-fwb-wb | sbd | sbd-wt | batman")
+		cores   = flag.Int("cores", 8, "core count")
+		instr   = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
+		warm    = flag.Int("warm", 0, "functional warmup accesses per core (0 = default)")
+		quick   = flag.Bool("quick", false, "use the shortened quick configuration")
+		capMB   = flag.Int("capacity", 0, "memory-side cache capacity in MiB (0 = default)")
+		bwPoint = flag.Float64("cachebw", 0, "cache bandwidth in GB/s: 102.4 | 128 | 204.8 (0 = default)")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads (rate mode):")
+		for _, n := range dap.WorkloadNames() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("mixes:")
+		for _, m := range dap.Workloads(*cores) {
+			fmt.Println("  " + m.Name)
+		}
+		return
+	}
+
+	cfg := dap.DefaultConfig()
+	if *quick {
+		cfg = dap.QuickConfig()
+	}
+	cfg.CPU.Cores = *cores
+	if *instr > 0 {
+		cfg.MeasureInstr = *instr
+	}
+	if *warm > 0 {
+		cfg.WarmAccesses = *warm
+	}
+	switch *arch {
+	case "sectored":
+		cfg.Arch = dap.SectoredDRAMCache
+	case "alloy":
+		cfg.Arch = dap.AlloyCache
+	case "edram":
+		cfg.Arch = dap.SectoredEDRAM
+	case "none":
+		cfg.Arch = dap.MainMemoryOnly
+	default:
+		fatalf("unknown arch %q", *arch)
+	}
+	switch *policy {
+	case "baseline":
+		cfg.Policy = dap.PolicyBaseline
+	case "dap":
+		cfg.Policy = dap.PolicyDAP
+	case "dap-fwb-wb":
+		cfg.Policy = dap.PolicyDAPFWBWB
+	case "sbd":
+		cfg.Policy = dap.PolicySBD
+	case "sbd-wt":
+		cfg.Policy = dap.PolicySBDWT
+	case "batman":
+		cfg.Policy = dap.PolicyBATMAN
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+	if *capMB > 0 {
+		cfg.Sectored.CapacityBytes = *capMB << 20
+		cfg.Alloy.CapacityBytes = *capMB << 20
+		cfg.EDRAM.CapacityBytes = *capMB << 20
+	}
+	if *bwPoint > 0 {
+		fatalIf(setCacheBW(&cfg, *bwPoint))
+	}
+
+	var mix dap.Workload
+	if *mixName != "" {
+		found := false
+		for _, m := range dap.Workloads(*cores) {
+			if m.Name == *mixName {
+				mix, found = m, true
+				break
+			}
+		}
+		if !found {
+			fatalf("unknown mix %q (see -list)", *mixName)
+		}
+	} else {
+		mix = dap.RateWorkload(*wl, *cores)
+	}
+
+	if *asJSON {
+		r := dap.Run(cfg, mix)
+		reportJSON(r, mix.Name, *arch, *policy)
+		return
+	}
+	fmt.Printf("running %s: arch=%s policy=%s cores=%d instr=%d\n",
+		mix.Name, *arch, *policy, *cores, cfg.MeasureInstr)
+	r := dap.Run(cfg, mix)
+	report(r)
+}
+
+// jsonReport is the machine-readable result schema.
+type jsonReport struct {
+	Mix        string    `json:"mix"`
+	Arch       string    `json:"arch"`
+	Policy     string    `json:"policy"`
+	Cycles     uint64    `json:"cycles"`
+	CoreIPC    []float64 `json:"core_ipc"`
+	CoreMPKI   []float64 `json:"core_mpki"`
+	HitRatio   float64   `json:"ms_hit_ratio"`
+	TagMiss    float64   `json:"tag_cache_miss_ratio"`
+	MSCacheCAS uint64    `json:"ms_cache_cas"`
+	MainMemCAS uint64    `json:"main_mem_cas"`
+	CASFrac    float64   `json:"main_mem_cas_fraction"`
+	Delivered  float64   `json:"delivered_gbps"`
+	DAP        struct {
+		FWB, WB, IFRM, SFRM uint64
+	} `json:"dap_decisions"`
+}
+
+func reportJSON(r dap.Result, mixName, arch, policy string) {
+	out := jsonReport{
+		Mix: mixName, Arch: arch, Policy: policy,
+		Cycles:     uint64(r.Cycles),
+		HitRatio:   r.MemSide.HitRatio(),
+		TagMiss:    r.MemSide.TagCacheMissRatio(),
+		MSCacheCAS: r.MSCacheCAS,
+		MainMemCAS: r.MainMemCAS,
+		CASFrac:    r.MainMemCASFraction(),
+		Delivered:  r.DeliveredGBps,
+	}
+	for _, c := range r.Cores {
+		out.CoreIPC = append(out.CoreIPC, c.IPC())
+		out.CoreMPKI = append(out.CoreMPKI, c.MPKI())
+	}
+	out.DAP.FWB, out.DAP.WB = r.DAP.FWB, r.DAP.WB
+	out.DAP.IFRM, out.DAP.SFRM = r.DAP.IFRM, r.DAP.SFRM
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encoding JSON: %v", err)
+	}
+}
+
+func report(r dap.Result) {
+	fmt.Printf("cycles: %d\n", r.Cycles)
+	sum := 0.0
+	for i, c := range r.Cores {
+		fmt.Printf("  core %2d: IPC %.3f  L3 MPKI %6.2f  avg L3 read-miss latency %6.0f cycles\n",
+			i, c.IPC(), c.MPKI(), c.AvgL3ReadMissLatency())
+		sum += c.IPC()
+	}
+	fmt.Printf("aggregate IPC: %.3f\n", sum)
+	var lat stats.Histogram
+	for i := range r.Cores {
+		lat.Merge(&r.Cores[i].L3MissLat)
+	}
+	if lat.Count > 0 {
+		fmt.Printf("L3 read-miss latency: mean %.0f, p50 <%d, p99 <%d cycles\n",
+			lat.Mean(), lat.Percentile(50), lat.Percentile(99))
+	}
+	ms := r.MemSide
+	fmt.Printf("memory-side cache: hit %.3f (reads %.3f), tag-cache miss %.3f\n",
+		ms.HitRatio(), ms.ReadHitRatio(), ms.TagCacheMissRatio())
+	fmt.Printf("  fills %d (bypassed %d), write bypasses %d, forced misses %d, speculative %d (wasted %d)\n",
+		ms.Fills, ms.FillBypasses, ms.WriteBypasses, ms.ForcedMisses, ms.SpecForced, ms.SpecWasted)
+	fmt.Printf("  sector evicts %d, dirty writeouts %d, metadata r/w %d/%d\n",
+		ms.SectorEvicts, ms.DirtyWriteouts, ms.MetaReads, ms.MetaWrites)
+	fmt.Printf("CAS: cache %d, main memory %d -> main-memory fraction %.3f (optimal %.3f)\n",
+		r.MSCacheCAS, r.MainMemCAS, r.MainMemCASFraction(), 38.4/(38.4+102.4))
+	if t := r.DAP.Total(); t > 0 {
+		f, w, ifrm, sfrm := r.DAP.Fractions()
+		fmt.Printf("DAP decisions: %d (FWB %.0f%%, WB %.0f%%, IFRM %.0f%%, SFRM %.0f%%)\n",
+			t, f*100, w*100, ifrm*100, sfrm*100)
+	}
+	fmt.Printf("delivered bandwidth: %.1f GB/s\n", r.DeliveredGBps)
+}
+
+func setCacheBW(cfg *dap.Config, gbps float64) error {
+	switch gbps {
+	case 102.4:
+		// default
+	case 128:
+		cfg.Sectored.Array.Name = "HBM-128"
+		cfg.Sectored.Array.FreqMHz = 1000
+		cfg.Sectored.Array.TCAS, cfg.Sectored.Array.TRCD, cfg.Sectored.Array.TRP, cfg.Sectored.Array.TRAS = 12, 12, 12, 32
+	case 204.8:
+		cfg.Sectored.Array.Channels = 8
+	default:
+		return fmt.Errorf("unsupported cache bandwidth %.1f (use 102.4, 128 or 204.8)", gbps)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dapsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}

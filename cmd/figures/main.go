@@ -1,0 +1,74 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables (the source of
+// EXPERIMENTS.md). Select a subset by ID, or run everything.
+//
+//	figures                # every experiment, full length
+//	figures -quick         # shortened runs
+//	figures -only fig6,tab1,fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dap"
+)
+
+type experiment struct {
+	key string
+	run func(dap.Options) dap.Figure
+}
+
+var experiments = []experiment{
+	{"fig1", dap.Fig01},
+	{"fig2", dap.Fig02},
+	{"fig4", dap.Fig04},
+	{"fig5", dap.Fig05},
+	{"fig6", dap.Fig06},
+	{"fig7", dap.Fig07},
+	{"fig8", dap.Fig08},
+	{"tab1", dap.Tab01},
+	{"fig9", dap.Fig09},
+	{"fig10", dap.Fig10},
+	{"fig11", dap.Fig11},
+	{"fig12", dap.Fig12},
+	{"fig13", dap.Fig13},
+	{"fig14", dap.Fig14},
+	{"fig15", dap.Fig15},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shortened runs")
+	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1)")
+	chart := flag.Bool("chart", false, "also render each figure's first series as an ASCII bar chart")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	opts := dap.Options{Quick: *quick}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.key] {
+			continue
+		}
+		start := time.Now()
+		fig := e.run(opts)
+		fmt.Println(fig.String())
+		if *chart {
+			fmt.Println(fig.Chart(0))
+		}
+		fmt.Printf("(%s in %.0fs)\n\n", e.key, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "figures: nothing matched -only; keys are fig1,fig2,fig4..fig15,tab1")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Package dap is a from-scratch reproduction of "Near-Optimal Access
+// Partitioning for Memory Hierarchies with Multiple Heterogeneous Bandwidth
+// Sources" (HPCA 2017). It bundles a cycle-level memory-hierarchy simulator
+// — out-of-order cores, an L1/L2/L3 SRAM hierarchy, DDR4/LPDDR4/HBM/eDRAM
+// DRAM models, three memory-side cache architectures — together with the
+// paper's contribution, the DAP dynamic access partitioning algorithm, and
+// the related policies it is compared against (SBD, SBD-WT, BATMAN, BEAR).
+//
+// The package exposes a small facade over the internal packages: build a
+// Config, pick a Workload, and Run it. The experiment drivers that
+// regenerate every table and figure of the paper live behind RunFigure; the
+// analytical bandwidth model of Section III is exposed directly.
+//
+// Quick start:
+//
+//	cfg := dap.DefaultConfig()
+//	cfg.Policy = dap.PolicyDAP
+//	res := dap.Run(cfg, dap.RateWorkload("mcf", 8))
+//	fmt.Println(res.IPC(), res.MainMemCASFraction())
+package dap
+
+import (
+	"fmt"
+
+	"dap/internal/core"
+	"dap/internal/harness"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// Architecture selects the memory-side cache organization.
+type Architecture = harness.Arch
+
+// Memory-side cache architectures (Section II of the paper).
+const (
+	SectoredDRAMCache = harness.SectoredDRAM // 4 KB-sector die-stacked HBM cache
+	AlloyCache        = harness.AlloyCache   // direct-mapped TAD cache
+	SectoredEDRAM     = harness.SectoredEDRAM
+	MainMemoryOnly    = harness.NoMSCache
+)
+
+// Policy selects the partitioning/steering policy.
+type Policy = harness.Policy
+
+// Policies.
+const (
+	PolicyBaseline = harness.Baseline
+	PolicyDAP      = harness.DAP
+	PolicyDAPFWBWB = harness.DAPFWBWB // DAP restricted to FWB+WB (Fig. 8)
+	PolicySBD      = harness.SBD
+	PolicySBDWT    = harness.SBDWT
+	PolicyBATMAN   = harness.BATMAN
+)
+
+// Config is a complete system configuration.
+type Config = harness.Config
+
+// DefaultConfig returns the paper's default system: eight 4-wide cores with
+// 224-entry ROBs, a 4 GB (64x scaled: 64 MB) sectored HBM DRAM cache at
+// 102.4 GB/s with an SRAM tag cache and footprint prefetcher, and
+// dual-channel DDR4-2400 main memory.
+func DefaultConfig() Config { return harness.Default() }
+
+// QuickConfig returns a shortened configuration for tests and demos.
+func QuickConfig() Config { return harness.Quick() }
+
+// Workload is a named eight-way (or n-way) multi-programmed mix.
+type Workload = workload.Mix
+
+// RateWorkload returns the paper's rate-n mode for a named snippet: n copies
+// of the same application, one per core. Valid names are listed by
+// WorkloadNames.
+func RateWorkload(name string, cores int) Workload {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("dap: unknown workload %q (see dap.WorkloadNames)", name))
+	}
+	return workload.RateMix(spec, cores)
+}
+
+// WorkloadNames lists the 17 synthetic application snippets.
+func WorkloadNames() []string { return workload.Names() }
+
+// Spec is a synthetic application description; build your own to evaluate a
+// new workload (see examples/custom_workload).
+type Spec = workload.Spec
+
+// SpecOf returns the parameters of a named snippet (useful as a starting
+// point for custom specs).
+func SpecOf(name string) (Spec, bool) { return workload.ByName(name) }
+
+// CustomRate runs n copies of a custom spec, one per core.
+func CustomRate(spec Spec, cores int) Workload { return workload.RateMix(spec, cores) }
+
+// CustomMix builds a heterogeneous mix from arbitrary specs (one per core).
+func CustomMix(name string, specs []Spec) Workload {
+	return Workload{Name: name, Specs: specs}
+}
+
+// Workloads returns the full 44-mix evaluation suite for an n-core system
+// (12 bandwidth-sensitive rate mixes, 5 insensitive, 27 heterogeneous).
+func Workloads(cores int) []Workload { return workload.AllMixes(cores) }
+
+// Result is the outcome of one simulation.
+type Result = harness.Result
+
+// Run simulates a workload on a configuration: functional warmup followed by
+// the timed region.
+func Run(cfg Config, w Workload) Result { return harness.RunMix(cfg, w) }
+
+// AloneIPC measures the single-core IPC of a named snippet on cfg, the
+// denominator of the paper's weighted-speedup metric.
+func AloneIPC(cfg Config, name string) float64 {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("dap: unknown workload %q", name))
+	}
+	return harness.AloneIPC(cfg, spec)
+}
+
+// Figure identifies a reproducible experiment.
+type Figure = harness.Figure
+
+// Experiments drive the paper's evaluation. Options{Quick: true} shortens
+// runs by roughly an order of magnitude.
+type Options = harness.Options
+
+// The experiment drivers, one per table/figure of the paper.
+var (
+	Fig01 = harness.Fig01 // delivered bandwidth vs hit rate
+	Fig02 = harness.Fig02 // eDRAM capacity doubling
+	Fig04 = harness.Fig04 // bandwidth sensitivity + MPKI
+	Fig05 = harness.Fig05 // tag cache benefit + miss ratio
+	Fig06 = harness.Fig06 // DAP on the sectored DRAM cache
+	Fig07 = harness.Fig07 // DAP decision mix
+	Fig08 = harness.Fig08 // CAS fractions + hit ratios
+	Tab01 = harness.Tab01 // window/efficiency sensitivity
+	Fig09 = harness.Fig09 // main-memory technology sensitivity
+	Fig10 = harness.Fig10 // cache capacity/bandwidth sensitivity
+	Fig11 = harness.Fig11 // SBD / SBD-WT / BATMAN / DAP
+	Fig12 = harness.Fig12 // the full 44-workload suite
+	Fig13 = harness.Fig13 // 16-core scaling
+	Fig14 = harness.Fig14 // Alloy cache: BEAR vs DAP
+	Fig15 = harness.Fig15 // eDRAM cache: DAP at two capacities
+)
+
+// DeliveredBandwidth evaluates the paper's Equation 2 and OptimalFractions
+// Equation 3/4: how bandwidth is delivered by n parallel sources and how
+// accesses should be split across them.
+func DeliveredBandwidth(bandwidths, fractions []float64) float64 {
+	return core.DeliveredBandwidth(bandwidths, fractions)
+}
+
+// OptimalFractions returns the access split that maximizes delivered
+// bandwidth: proportional to each source's bandwidth.
+func OptimalFractions(bandwidths []float64) []float64 {
+	return core.OptimalFractions(bandwidths)
+}
+
+// GeoMean aggregates normalized speedups the way the paper reports GMEAN.
+func GeoMean(vs []float64) float64 { return stats.GeoMean(vs) }

@@ -1,0 +1,80 @@
+package dap_test
+
+import (
+	"math"
+	"testing"
+
+	"dap"
+)
+
+func TestPublicAPIQuickRun(t *testing.T) {
+	cfg := dap.QuickConfig()
+	mix := dap.RateWorkload("gcc.expr", cfg.CPU.Cores)
+	r := dap.Run(cfg, mix)
+	if r.Cycles == 0 || len(r.Cores) != cfg.CPU.Cores {
+		t.Fatalf("bad result: cycles=%d cores=%d", r.Cycles, len(r.Cores))
+	}
+}
+
+func TestPublicAPIUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload must panic")
+		}
+	}()
+	dap.RateWorkload("not-a-benchmark", 8)
+}
+
+func TestPublicAPIWorkloadCatalog(t *testing.T) {
+	if n := len(dap.WorkloadNames()); n != 17 {
+		t.Fatalf("workloads = %d, want 17", n)
+	}
+	if n := len(dap.Workloads(8)); n != 44 {
+		t.Fatalf("mixes = %d, want 44", n)
+	}
+	if _, ok := dap.SpecOf("mcf"); !ok {
+		t.Fatal("mcf spec must resolve")
+	}
+}
+
+func TestPublicAPICustomSpec(t *testing.T) {
+	spec, _ := dap.SpecOf("gcc.expr")
+	spec.Name = "custom"
+	spec.FootprintMB = 2
+	cfg := dap.QuickConfig()
+	cfg.MeasureInstr = 100_000
+	cfg.WarmAccesses = 30_000
+	r := dap.Run(cfg, dap.CustomRate(spec, cfg.CPU.Cores))
+	if r.Cycles == 0 {
+		t.Fatal("custom workload failed to run")
+	}
+	mix := dap.CustomMix("pair", []dap.Spec{spec, spec, spec, spec, spec, spec, spec, spec})
+	if r := dap.Run(cfg, mix); r.Cycles == 0 {
+		t.Fatal("custom mix failed to run")
+	}
+}
+
+func TestPublicAPIBandwidthModel(t *testing.T) {
+	// the Section III example
+	b := []float64{102.4, 51.2}
+	if got := dap.DeliveredBandwidth(b, []float64{0.5, 0.5}); got != 102.4 {
+		t.Fatalf("equation 2: %v", got)
+	}
+	f := dap.OptimalFractions(b)
+	if math.Abs(f[0]-2.0/3) > 1e-12 {
+		t.Fatalf("equation 4: %v", f)
+	}
+	if g := dap.GeoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geomean: %v", g)
+	}
+}
+
+func TestPublicAPIAloneIPC(t *testing.T) {
+	cfg := dap.QuickConfig()
+	cfg.MeasureInstr = 100_000
+	cfg.WarmAccesses = 50_000
+	v := dap.AloneIPC(cfg, "parboil-histo")
+	if v <= 0 || v > 4.05 {
+		t.Fatalf("alone IPC = %v", v)
+	}
+}

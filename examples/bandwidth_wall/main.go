@@ -1,0 +1,53 @@
+// Bandwidth wall: reproduce the paper's motivating observation (Figure 1 and
+// Section III) that raising the memory-side cache hit rate stops improving —
+// and for eDRAM actively hurts — delivered bandwidth, because the main
+// memory sits idle. The measured curves from the cycle-level DRAM models are
+// printed next to the analytical bound of Equation 2.
+package main
+
+import (
+	"fmt"
+
+	"dap"
+	"dap/internal/harness"
+)
+
+func main() {
+	fmt.Println("Delivered read bandwidth (GB/s) vs. memory-side cache hit rate")
+	fmt.Println()
+	fmt.Printf("%8s | %12s %12s | %12s %12s\n", "hit rate",
+		"DRAM$ sim", "DRAM$ model", "eDRAM sim", "eDRAM model")
+
+	for _, h := range harness.Figure1HitRates {
+		dramSim := harness.BandwidthKernel(harness.KernelDRAMCache, h, 256, 2_000_000)
+		edramSim := harness.BandwidthKernel(harness.KernelEDRAM, h, 256, 2_000_000)
+
+		// Equation 2 bounds. DRAM cache: hits and fills share one channel
+		// set, so the cache serves fraction h + (1-h) = 1 of every access;
+		// main memory serves (1-h). eDRAM: reads h on the read channels,
+		// fills (1-h) on the write channels, misses (1-h) at main memory.
+		dramModel := dap.DeliveredBandwidth(
+			[]float64{102.4, 38.4},
+			[]float64{1.0, 1 - h},
+		)
+		edramModel := dap.DeliveredBandwidth(
+			[]float64{51.2, 51.2, 38.4},
+			[]float64{h, 1 - h, 1 - h},
+		)
+		fmt.Printf("%7.0f%% | %12.1f %12.1f | %12.1f %12.1f\n",
+			h*100, dramSim.DeliveredGBps, dramModel, edramSim.DeliveredGBps, edramModel)
+	}
+
+	fmt.Println()
+	fmt.Println("The DRAM cache saturates at its own bandwidth past ~70% hits;")
+	fmt.Println("the eDRAM cache peaks mid-range and *loses* bandwidth as the hit")
+	fmt.Println("rate approaches 100%, stranding 38.4 GB/s of DDR4 bandwidth.")
+	fmt.Println()
+
+	// The conclusion of Section III: the optimal partition sends accesses
+	// in proportion to source bandwidths.
+	opt := dap.OptimalFractions([]float64{102.4, 38.4})
+	fmt.Printf("Equation 4: optimal split for 102.4+38.4 GB/s is %.0f%%/%.0f%%, "+
+		"delivering %.1f GB/s.\n", opt[0]*100, opt[1]*100,
+		dap.DeliveredBandwidth([]float64{102.4, 38.4}, opt))
+}

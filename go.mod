@@ -1,0 +1,3 @@
+module dap
+
+go 1.22

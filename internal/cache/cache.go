@@ -1,0 +1,314 @@
+// Package cache implements the set-associative SRAM structures used
+// throughout the hierarchy: the L1/L2/L3 data caches, the DRAM-cache SRAM
+// tag cache, the Alloy dirty-bit cache and assorted predictor tables.
+//
+// The caches are tag-only (the simulator never moves real data); each line
+// carries a small state word that callers interpret.
+package cache
+
+import "dap/internal/mem"
+
+// ReplPolicy selects a victim within a set.
+type ReplPolicy uint8
+
+// Replacement policies.
+const (
+	LRU   ReplPolicy = iota
+	NRU              // single-bit not-recently-used (paper's DRAM cache policy)
+	SRRIP            // 2-bit static re-reference interval prediction
+	Rand             // pseudo-random victim
+)
+
+// Line is one tag entry.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	State uint32 // caller-defined payload
+	VMask uint64 // per-block valid bits (sector caches; 1 bit per 64 B block)
+	DMask uint64 // per-block dirty bits (sector caches)
+	lru   uint32
+	nru   bool  // true = recently used
+	rrpv  uint8 // SRRIP re-reference prediction value (0 = imminent)
+}
+
+// Stats counts hits and misses.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	DirtyEvic uint64
+}
+
+// MissRatio returns misses / lookups.
+func (s *Stats) MissRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// HitRatio returns hits / lookups.
+func (s *Stats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is a set-associative tag array. Addresses are mapped as
+// line -> set = (line / SetSkip) % Sets, tag = line / (Sets*SetSkip).
+// SetSkip lets sector caches index by sector rather than by line.
+type Cache struct {
+	Sets    int
+	Ways    int
+	Policy  ReplPolicy
+	SetSkip uint64 // lines per indexing unit (1 for ordinary caches)
+	Stats   Stats
+
+	lines    []Line // Sets*Ways
+	tick     uint32
+	rng      uint64
+	setMask  uint64
+	setShift uint
+}
+
+// New builds a cache with the given geometry. sets must be a power of two.
+func New(sets, ways int, policy ReplPolicy, setSkip uint64) *Cache {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("cache: sets must be a positive power of two")
+	}
+	if setSkip == 0 {
+		setSkip = 1
+	}
+	return &Cache{
+		Sets: sets, Ways: ways, Policy: policy, SetSkip: setSkip,
+		lines:    make([]Line, sets*ways),
+		rng:      0x9e3779b97f4a7c15,
+		setMask:  uint64(sets) - 1,
+		setShift: uint(log2(uint64(sets))),
+	}
+}
+
+// NewBytes builds a conventional cache of the given capacity with 64 B
+// lines. The set count is rounded down to a power of two, so a 16-way cache
+// with one way borrowed (15 usable ways) keeps its set count.
+func NewBytes(capacity, ways int, policy ReplPolicy) *Cache {
+	sets := capacity / mem.LineBytes / ways
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return New(p, ways, policy, 1)
+}
+
+// Index returns the set index and tag for an address.
+func (c *Cache) Index(a mem.Addr) (set int, tag uint64) {
+	unit := uint64(a.Line()) / c.SetSkip
+	return int(unit & c.setMask), unit >> c.setShift
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// set returns the ways of a set.
+func (c *Cache) set(si int) []Line { return c.lines[si*c.Ways : (si+1)*c.Ways] }
+
+// Probe looks up an address without updating recency or stats. Returns the
+// line or nil.
+func (c *Cache) Probe(a mem.Addr) *Line {
+	si, tag := c.Index(a)
+	for i := range c.set(si) {
+		l := &c.set(si)[i]
+		if l.Valid && l.Tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// Lookup searches for an address, updating recency and hit/miss stats.
+func (c *Cache) Lookup(a mem.Addr) *Line {
+	si, tag := c.Index(a)
+	s := c.set(si)
+	for i := range s {
+		if s[i].Valid && s[i].Tag == tag {
+			c.Stats.Hits++
+			c.touch(s, i)
+			return &s[i]
+		}
+	}
+	c.Stats.Misses++
+	return nil
+}
+
+func (c *Cache) touch(s []Line, i int) {
+	switch c.Policy {
+	case LRU, Rand:
+		c.tick++
+		s[i].lru = c.tick
+	case SRRIP:
+		s[i].rrpv = 0 // hit promotion (HP policy)
+	case NRU:
+		s[i].nru = true
+		// if all ways are now recently-used, clear the others
+		all := true
+		for j := range s {
+			if j != i && s[j].Valid && !s[j].nru {
+				all = false
+				break
+			}
+		}
+		if all {
+			for j := range s {
+				if j != i {
+					s[j].nru = false
+				}
+			}
+		}
+	}
+}
+
+// Victim returns the replacement candidate for an address: an invalid way if
+// one exists, else the policy victim. It does not modify the set.
+func (c *Cache) Victim(a mem.Addr) *Line {
+	si, _ := c.Index(a)
+	s := c.set(si)
+	for i := range s {
+		if !s[i].Valid {
+			return &s[i]
+		}
+	}
+	switch c.Policy {
+	case NRU:
+		for i := range s {
+			if !s[i].nru {
+				return &s[i]
+			}
+		}
+		return &s[0]
+	case SRRIP:
+		// evict the first line with maximum RRPV (3), aging until one exists
+		for {
+			for i := range s {
+				if s[i].rrpv >= 3 {
+					return &s[i]
+				}
+			}
+			for i := range s {
+				s[i].rrpv++
+			}
+		}
+	case Rand:
+		c.rng ^= c.rng >> 12
+		c.rng ^= c.rng << 25
+		c.rng ^= c.rng >> 27
+		return &s[int(c.rng%uint64(c.Ways))]
+	default: // LRU
+		vi, best := 0, s[0].lru
+		for i := 1; i < c.Ways; i++ {
+			if s[i].lru < best {
+				vi, best = i, s[i].lru
+			}
+		}
+		return &s[vi]
+	}
+}
+
+// Insert installs an address, returning the evicted line contents (valid
+// only if a real eviction occurred). The new line is marked recently used.
+func (c *Cache) Insert(a mem.Addr, dirty bool) (evicted Line) {
+	si, tag := c.Index(a)
+	v := c.Victim(a)
+	if v.Valid {
+		evicted = *v
+		c.Stats.Evictions++
+		if v.Dirty {
+			c.Stats.DirtyEvic++
+		}
+	}
+	*v = Line{Tag: tag, Valid: true, Dirty: dirty}
+	if c.Policy == SRRIP {
+		v.rrpv = 2 // long re-reference interval on insertion
+	}
+	s := c.set(si)
+	for i := range s {
+		if &s[i] == v {
+			if c.Policy != SRRIP {
+				c.touch(s, i)
+			}
+			break
+		}
+	}
+	return evicted
+}
+
+// Invalidate removes an address if present, returning the removed line.
+func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
+	if l := c.Probe(a); l != nil {
+		old := *l
+		*l = Line{}
+		return old, true
+	}
+	return Line{}, false
+}
+
+// LineAddr reconstructs the base line address of an entry in set si.
+func (c *Cache) LineAddr(si int, tag uint64) mem.Addr {
+	unit := tag<<c.setShift | uint64(si)
+	return mem.Addr(unit * c.SetSkip << mem.LineShift)
+}
+
+// ForEach visits every valid line (used for BATMAN set disabling and tests).
+func (c *Cache) ForEach(fn func(set int, l *Line)) {
+	for si := 0; si < c.Sets; si++ {
+		s := c.set(si)
+		for i := range s {
+			if s[i].Valid {
+				fn(si, &s[i])
+			}
+		}
+	}
+}
+
+// ForEachInSet visits the valid lines of one set.
+func (c *Cache) ForEachInSet(si int, fn func(l *Line)) {
+	s := c.set(si)
+	for i := range s {
+		if s[i].Valid {
+			fn(&s[i])
+		}
+	}
+}
+
+// InvalidateSet clears an entire set, invoking fn for each valid line first.
+func (c *Cache) InvalidateSet(si int, fn func(l *Line)) {
+	s := c.set(si)
+	for i := range s {
+		if s[i].Valid {
+			if fn != nil {
+				fn(&s[i])
+			}
+			s[i] = Line{}
+		}
+	}
+}
+
+// Occupancy returns the fraction of valid lines.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}

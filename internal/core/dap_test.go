@@ -1,0 +1,385 @@
+package core
+
+import (
+	"testing"
+
+	"dap/internal/mem"
+	"dap/internal/sim"
+)
+
+// newTestDAP builds a DAP with the paper's default bandwidth point
+// (102.4 GB/s cache, 38.4 GB/s memory, W=64, E=0.75) on a fresh engine.
+func newTestDAP(arch Arch) (*DAP, *sim.Engine, *WindowCounts) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(arch, 102.4, 38.4)
+	d := NewDAP(cfg, eng, wc)
+	return d, eng, wc
+}
+
+// fire advances the engine across one window boundary.
+func fire(eng *sim.Engine) { eng.RunUntil(eng.Now() + 64) }
+
+func TestDAPKApproximation(t *testing.T) {
+	d, _, _ := newTestDAP(SectoredArch)
+	if k := d.K(); k.Num != 11 || k.Den != 4 {
+		t.Fatalf("K = %d/%d, want 11/4", k.Num, k.Den)
+	}
+}
+
+func TestNopNeverPartitions(t *testing.T) {
+	var n Nop
+	if n.TakeFWB() || n.TakeWB() || n.TakeIFRM(0) || n.TakeSFRM() || n.TakeWT() {
+		t.Fatal("Nop must always refuse")
+	}
+	if n.Decisions().Total() != 0 {
+		t.Fatal("Nop has no decisions")
+	}
+}
+
+func TestNoPartitioningWhenDemandLow(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// B_MS$ * W * E = 0.4*64*0.75 = 19.2 accesses; offer less.
+	wc.AMSR, wc.AMM, wc.Rm = 10, 5, 5
+	fire(eng)
+	if d.TakeFWB() || d.TakeWB() || d.TakeIFRM(0) || d.TakeSFRM() {
+		t.Fatal("no partitioning should be granted when A_MS$ <= B_MS$.W")
+	}
+	if d.Partitioned != 0 {
+		t.Fatalf("Partitioned = %d, want 0", d.Partitioned)
+	}
+}
+
+func TestNoPartitioningWhenMainMemoryBottleneck(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// A_MS$ high but A_MM so high that N_FWB = A_MS$ - K*A_MM < 0.
+	wc.AMSR, wc.AMSW = 20, 10
+	wc.AMM = 20 // K*A_MM = 55 > 30
+	wc.Rm = 10
+	fire(eng)
+	if d.TakeFWB() || d.TakeWB() || d.TakeIFRM(0) {
+		t.Fatal("main-memory bottleneck must exit partitioning")
+	}
+}
+
+func TestFWBOnlyWindow(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// Demand 30 accesses, A_MM = 8: N_FWB = 30 - 2.75*8 = 8; plenty of
+	// fills available (Rm = 12), so WB/IFRM stay zero.
+	wc.AMSR, wc.AMSW = 18, 12
+	wc.AMM, wc.Rm, wc.Wm = 8, 12, 6
+	fire(eng)
+	grants := 0
+	for d.TakeFWB() {
+		grants++
+	}
+	if grants < 7 || grants > 8 {
+		t.Fatalf("FWB grants = %d, want ~8", grants)
+	}
+	if d.TakeWB() {
+		t.Fatal("WB must not be granted when FWB suffices")
+	}
+	if d.TakeIFRM(0) {
+		t.Fatal("IFRM must not be granted when FWB suffices")
+	}
+}
+
+func TestFWBCappedByExcessThenWB(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// N_FWB raw = A_MS$ - K*A_MM = 40 - 11 = 29, but only Rm = 4 fills
+	// exist, so WB picks up the remainder:
+	// (K+1) N_WB = 40 - 11 - 4 = 25 -> N_WB = 25/3.75 = 6.67.
+	wc.AMSR, wc.AMSW = 25, 15
+	wc.AMM, wc.Rm, wc.Wm = 4, 4, 20
+	fire(eng)
+	f := 0
+	for d.TakeFWB() {
+		f++
+	}
+	if f != 4 {
+		t.Fatalf("FWB grants = %d, want Rm = 4", f)
+	}
+	w := 0
+	for d.TakeWB() {
+		w++
+	}
+	if w < 5 || w > 7 {
+		t.Fatalf("WB grants = %d, want ~6-7", w)
+	}
+}
+
+func TestWBCappedThenIFRM(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// Very few fills and writes force IFRM:
+	// raw = 60 - 2.75*4 = 49 > Rm=2 -> N_WB: (K+1)N_WB = 60-11-2 = 47,
+	// cap at Wm=3 -> N_IFRM: (K+1)N_IFRM = 60 - 2.75*(4+3) - 2 - 3 = 35.75
+	// -> N_IFRM ~ 9.5, capped by clean hits 30.
+	wc.AMSR, wc.AMSW = 50, 10
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 4, 2, 3, 30
+	fire(eng)
+	f := 0
+	for d.TakeFWB() {
+		f++
+	}
+	if f != 2 {
+		t.Fatalf("FWB grants = %d, want 2", f)
+	}
+	w := 0
+	for d.TakeWB() {
+		w++
+	}
+	if w != 3 {
+		t.Fatalf("WB grants = %d, want Wm = 3", w)
+	}
+	i := 0
+	for d.TakeIFRM(0) {
+		i++
+	}
+	if i < 8 || i > 10 {
+		t.Fatalf("IFRM grants = %d, want ~9", i)
+	}
+}
+
+func TestSFRMUsesSpareMemoryBandwidth(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	// B_MM*W*E = 0.15*64*0.75 = 7.2 -> bmmWin = 7. A_MM = 1 leaves spare.
+	wc.AMSR, wc.AMSW = 25, 5
+	wc.AMM, wc.Rm, wc.Wm = 1, 25, 2
+	fire(eng)
+	s := 0
+	for d.TakeSFRM() {
+		s++
+	}
+	// spare = 7 - 1 = 6 (no WB/IFRM), reserve 0.8 -> 4.8 -> 4
+	if s < 3 || s > 5 {
+		t.Fatalf("SFRM grants = %d, want ~4", s)
+	}
+}
+
+func TestCreditsExpireEachWindow(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm = 20, 10, 2, 20
+	fire(eng)
+	if !d.TakeFWB() {
+		t.Fatal("first window should grant FWB")
+	}
+	// quiet window: credits must reset to zero
+	fire(eng)
+	if d.TakeFWB() {
+		t.Fatal("credits must be recomputed (zero) after a quiet window")
+	}
+}
+
+func TestWindowCountsResetEachWindow(t *testing.T) {
+	_, eng, wc := newTestDAP(SectoredArch)
+	wc.AMSR = 42
+	fire(eng)
+	if wc.AMSR != 0 {
+		t.Fatalf("counts must reset at the window boundary, AMSR = %d", wc.AMSR)
+	}
+}
+
+func TestDisableFlags(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	cfg.Disable.FWB = true
+	cfg.Disable.SFRM = true
+	d := NewDAP(cfg, eng, wc)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm, wc.Wm = 25, 10, 2, 20, 10
+	fire(eng)
+	if d.TakeFWB() {
+		t.Fatal("disabled FWB must refuse")
+	}
+	if d.TakeSFRM() {
+		t.Fatal("disabled SFRM must refuse")
+	}
+}
+
+func TestDecisionAccounting(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm = 20, 12, 2, 20
+	fire(eng)
+	n := 0
+	for d.TakeFWB() {
+		n++
+	}
+	dec := d.Decisions()
+	if dec.FWB != uint64(n) || dec.Total() != uint64(n) {
+		t.Fatalf("decisions = %+v, want FWB = %d", dec, n)
+	}
+}
+
+func TestStopHaltsWindows(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	fire(eng)
+	w := d.Windows
+	d.Stop()
+	wc.AMSR = 100
+	eng.RunUntil(eng.Now() + 1000)
+	if d.Windows != w+1 && d.Windows != w {
+		// one more window may fire before the stop flag is seen
+		t.Fatalf("windows kept firing after Stop: %d -> %d", w, d.Windows)
+	}
+}
+
+func TestEDRAMReadShortageGrantsIFRMOnly(t *testing.T) {
+	d, eng, wc := newTestDAP(EDRAMArch)
+	// read channels overloaded, write channels fine
+	wc.AMSR, wc.AMSW = 30, 5
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 2, 3, 5, 40
+	fire(eng)
+	if d.TakeFWB() || d.TakeWB() {
+		t.Fatal("read shortage must not grant FWB/WB")
+	}
+	i := 0
+	for d.TakeIFRM(0) {
+		i++
+	}
+	// (K+1)N = 30 - 2.75*2 = 24.5 -> N ~ 6.5
+	if i < 5 || i > 8 {
+		t.Fatalf("IFRM grants = %d, want ~6", i)
+	}
+}
+
+func TestEDRAMWriteShortageGrantsFWBThenWB(t *testing.T) {
+	d, eng, wc := newTestDAP(EDRAMArch)
+	wc.AMSR, wc.AMSW = 5, 30
+	wc.AMM, wc.Rm, wc.Wm = 2, 4, 25
+	fire(eng)
+	if d.TakeIFRM(0) {
+		t.Fatal("write shortage must not grant IFRM")
+	}
+	f := 0
+	for d.TakeFWB() {
+		f++
+	}
+	if f != 4 {
+		t.Fatalf("FWB grants = %d, want Rm = 4", f)
+	}
+	w := 0
+	for d.TakeWB() {
+		w++
+	}
+	// (K+1)N_WB = (30 - 4) - 5.5 = 20.5 -> N ~ 5.4
+	if w < 4 || w > 7 {
+		t.Fatalf("WB grants = %d, want ~5", w)
+	}
+}
+
+func TestEDRAMDualShortageSolvesSimultaneously(t *testing.T) {
+	d, eng, wc := newTestDAP(EDRAMArch)
+	wc.AMSR, wc.AMSW = 30, 30
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 2, 4, 25, 40
+	fire(eng)
+	f, w, i := 0, 0, 0
+	for d.TakeFWB() {
+		f++
+	}
+	for d.TakeWB() {
+		w++
+	}
+	for d.TakeIFRM(0) {
+		i++
+	}
+	if f != 4 {
+		t.Fatalf("FWB grants = %d, want 4", f)
+	}
+	if w == 0 || i == 0 {
+		t.Fatalf("dual shortage must grant both WB (%d) and IFRM (%d)", w, i)
+	}
+}
+
+func TestAlloyGrantsIFRMAndWT(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(AlloyArch, 102.4*2/3, 38.4)
+	d := NewDAP(cfg, eng, wc)
+	wc.AMSR, wc.AMSW = 20, 5
+	wc.AMM, wc.Wm, wc.CleanHits = 1, 10, 2
+	eng.RunUntil(eng.Now() + 64)
+	i := 0
+	for d.TakeIFRM(0) {
+		i++
+	}
+	if i == 0 {
+		t.Fatal("alloy DAP must grant IFRM under cache pressure")
+	}
+	wt := 0
+	for d.TakeWT() {
+		wt++
+	}
+	if wt == 0 {
+		t.Fatal("alloy DAP must fund write-through from spare memory bandwidth")
+	}
+	if d.TakeFWB() || d.TakeWB() {
+		t.Fatal("alloy DAP grants neither FWB nor WB credits directly")
+	}
+}
+
+func TestCreditSaturation(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	cfg.CreditCap = 4
+	d := NewDAP(cfg, eng, wc)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm = 200, 100, 2, 300
+	eng.RunUntil(eng.Now() + 64)
+	n := 0
+	for d.TakeFWB() {
+		n++
+	}
+	if n > 4 {
+		t.Fatalf("FWB grants = %d, want <= CreditCap 4", n)
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	eng := sim.New()
+	d := NewDAP(Config{Arch: SectoredArch, BMSGBps: 102.4, BMMGBps: 38.4}, eng, &WindowCounts{})
+	if d.cfg.Window != 64 || d.cfg.Efficiency != 0.75 || d.cfg.CreditCap != 255 ||
+		d.cfg.MaxKDen != 4 || d.cfg.SFRMReserve != 0.8 {
+		t.Fatalf("defaults not applied: %+v", d.cfg)
+	}
+	_ = mem.Cycle(0)
+}
+
+func TestSectoredSolverGrantsNoWT(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm, wc.Wm = 40, 10, 2, 30, 10
+	fire(eng)
+	if d.TakeWT() {
+		t.Fatal("the sectored solver never grants write-through credits")
+	}
+}
+
+func TestEDRAMNoSFRM(t *testing.T) {
+	d, eng, wc := newTestDAP(EDRAMArch)
+	wc.AMSR, wc.AMSW, wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 30, 30, 1, 10, 10, 10
+	fire(eng)
+	if d.TakeSFRM() {
+		t.Fatal("eDRAM metadata is on-die: SFRM must never be granted")
+	}
+}
+
+func TestBacklogRaisesDemand(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	backlog := int64(0)
+	cfg.Backlog = func() (int64, int64, int64) { return backlog, 0, 0 }
+	d := NewDAP(cfg, eng, wc)
+	// arrivals alone are below the threshold: no partitioning
+	wc.AMSR, wc.Rm = 15, 15
+	eng.RunUntil(eng.Now() + 64)
+	if d.TakeFWB() {
+		t.Fatal("below-threshold arrivals must not partition")
+	}
+	// the same arrivals plus queued backlog exceed it
+	backlog = 30
+	wc.AMSR, wc.Rm = 15, 15
+	eng.RunUntil(eng.Now() + 64)
+	if !d.TakeFWB() {
+		t.Fatal("backlog must count toward demand")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"dap/internal/sim"
+)
+
+func TestThreadAwareIFRMPrioritizesInsensitive(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	cfg.ThreadAware = true
+	cfg.LatencySensitive = []bool{true, false} // core 0 sensitive, core 1 not
+	d := NewDAP(cfg, eng, wc)
+	// grant IFRM credits
+	wc.AMSR, wc.AMSW = 50, 10
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 4, 2, 3, 30
+	eng.RunUntil(eng.Now() + 64)
+
+	// the insensitive core drains credits down through the watermark
+	insensitiveGrants := 0
+	for d.TakeIFRM(1) {
+		insensitiveGrants++
+	}
+	if insensitiveGrants == 0 {
+		t.Fatal("insensitive core must receive IFRM grants")
+	}
+	// after full drain the sensitive core gets nothing either
+	if d.TakeIFRM(0) {
+		t.Fatal("no credits remain")
+	}
+
+	// refill and check the sensitive core stops at the watermark
+	wc.AMSR, wc.AMSW = 50, 10
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 4, 2, 3, 30
+	eng.RunUntil(eng.Now() + 64)
+	sensitiveGrants := 0
+	for d.TakeIFRM(0) {
+		sensitiveGrants++
+	}
+	if sensitiveGrants == 0 {
+		t.Fatal("sensitive core must get some IFRM above the watermark")
+	}
+	if sensitiveGrants >= insensitiveGrants {
+		t.Fatalf("sensitive grants (%d) must stop at the watermark, below insensitive (%d)",
+			sensitiveGrants, insensitiveGrants)
+	}
+	// the remaining credits below the watermark are still available to the
+	// insensitive core
+	if !d.TakeIFRM(1) {
+		t.Fatal("insensitive core must still drain below the watermark")
+	}
+}
+
+func TestThreadAwareUnattributedUnaffected(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	cfg.ThreadAware = true
+	cfg.LatencySensitive = []bool{true}
+	d := NewDAP(cfg, eng, wc)
+	wc.AMSR, wc.AMSW = 50, 10
+	wc.AMM, wc.Rm, wc.Wm, wc.CleanHits = 4, 2, 3, 30
+	eng.RunUntil(eng.Now() + 64)
+	// core -1 (maintenance/unattributed) is treated as insensitive
+	if !d.TakeIFRM(-1) {
+		t.Fatal("unattributed IFRM must be grantable")
+	}
+}
+
+func TestEWMALearningSmoothsBursts(t *testing.T) {
+	eng := sim.New()
+	wc := &WindowCounts{}
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	cfg.EWMALearning = true
+	d := NewDAP(cfg, eng, wc)
+
+	// one burst window followed by a quiet window: raw learning would grant
+	// nothing after the quiet window; the EWMA remembers half the burst.
+	wc.AMSR, wc.AMSW = 60, 20
+	wc.AMM, wc.Rm = 2, 40
+	eng.RunUntil(eng.Now() + 64) // smoothed ~ half the burst
+	eng.RunUntil(eng.Now() + 64) // quiet window; smoothed ~ quarter
+	if !d.TakeFWB() {
+		t.Fatal("EWMA learning must retain credits across a quiet window")
+	}
+}
+
+func TestEWMADisabledForgetsImmediately(t *testing.T) {
+	d, eng, wc := newTestDAP(SectoredArch)
+	wc.AMSR, wc.AMSW = 60, 20
+	wc.AMM, wc.Rm = 2, 40
+	fire(eng)
+	fire(eng) // quiet window resets everything
+	if d.TakeFWB() {
+		t.Fatal("raw window learning must reset after a quiet window")
+	}
+}

@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: the bandwidth
+// equation (Section III) and DAP, the Dynamic Access Partitioning algorithm
+// (Section IV), in its three architecture-specific variants — sectored DRAM
+// cache, Alloy cache, and sectored eDRAM cache with independent read and
+// write channels.
+package core
+
+// DeliveredBandwidth evaluates Equation 2: the bandwidth delivered by n
+// parallel sources with bandwidths b[i] when source i serves fraction f[i]
+// of the accesses. Units are caller-defined (GB/s in the paper). Fractions
+// of zero contribute no constraint; a positive fraction on a zero-bandwidth
+// source yields zero.
+func DeliveredBandwidth(b, f []float64) float64 {
+	if len(b) != len(f) {
+		panic("core: bandwidths and fractions must have equal length")
+	}
+	min := -1.0
+	for i := range b {
+		if f[i] <= 0 {
+			continue
+		}
+		if b[i] <= 0 {
+			return 0
+		}
+		v := b[i] / f[i]
+		if min < 0 || v < min {
+			min = v
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// OptimalFractions evaluates Equation 3/4: accesses should be distributed in
+// proportion to source bandwidths, making the delivered bandwidth the sum of
+// all source bandwidths.
+func OptimalFractions(b []float64) []float64 {
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	out := make([]float64, len(b))
+	if sum == 0 {
+		return out
+	}
+	for i, v := range b {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// MaxDeliveredBandwidth is the right-hand side of Equation 3 divided by the
+// access-volume inflation factor C (>= 1): sum(B_i)/C.
+func MaxDeliveredBandwidth(b []float64, c float64) float64 {
+	if c < 1 {
+		c = 1
+	}
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	return sum / c
+}
+
+// Ratio is a small positive rational used for the bandwidth ratio
+// K = B_MS$ / B_MM. The paper approximates K with a hardware-friendly
+// denominator (8/3 is approximated as 11/4) so that multiplications by K and
+// (K+1) reduce to shifts and adds.
+type Ratio struct{ Num, Den int64 }
+
+// ApproxRatio returns the best rational approximation of x whose denominator
+// is a power of two at most maxDen (paper default 4). Power-of-two
+// denominators keep the multiply-by-(K+1) datapath to shifts and adds, which
+// is why the paper approximates 8/3 as 11/4 rather than using it exactly.
+func ApproxRatio(x float64, maxDen int64) Ratio {
+	if maxDen < 1 {
+		maxDen = 1
+	}
+	best := Ratio{Num: int64(x + 0.5), Den: 1}
+	bestErr := abs(x - float64(best.Num))
+	for d := int64(1); d <= maxDen; d *= 2 {
+		n := int64(x*float64(d) + 0.5)
+		if err := abs(x - float64(n)/float64(d)); err < bestErr {
+			best, bestErr = Ratio{Num: n, Den: d}, err
+		}
+	}
+	return best
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Float returns the ratio's value.
+func (r Ratio) Float() float64 { return float64(r.Num) / float64(r.Den) }

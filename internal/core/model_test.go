@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeliveredBandwidthExamples(t *testing.T) {
+	// Section III example: M1 = 102.4, M2 = 51.2.
+	b := []float64{102.4, 51.2}
+	if got := DeliveredBandwidth(b, []float64{1, 0}); got != 102.4 {
+		t.Fatalf("all to M1: %v", got)
+	}
+	if got := DeliveredBandwidth(b, []float64{0.5, 0.5}); got != 102.4 {
+		t.Fatalf("half-half is bottlenecked by M2: %v", got)
+	}
+	// optimal: 2/3 and 1/3 delivers the sum
+	got := DeliveredBandwidth(b, []float64{2.0 / 3, 1.0 / 3})
+	if math.Abs(got-153.6) > 1e-9 {
+		t.Fatalf("optimal split: %v, want 153.6", got)
+	}
+}
+
+func TestOptimalFractions(t *testing.T) {
+	f := OptimalFractions([]float64{102.4, 38.4})
+	if math.Abs(f[0]-102.4/140.8) > 1e-12 || math.Abs(f[1]-38.4/140.8) > 1e-12 {
+		t.Fatalf("fractions = %v", f)
+	}
+	// paper: optimal main-memory CAS fraction is 0.27 for 102.4 + 38.4
+	if math.Abs(f[1]-0.2727) > 0.001 {
+		t.Fatalf("MM fraction = %v, want ~0.27", f[1])
+	}
+}
+
+// Property (Equation 3): the optimal fractions maximize Equation 2, and the
+// maximum equals sum(B_i).
+func TestOptimalFractionsAreOptimal(t *testing.T) {
+	f := func(b1, b2, b3 uint8) bool {
+		b := []float64{float64(b1%100) + 1, float64(b2%100) + 1, float64(b3%100) + 1}
+		opt := OptimalFractions(b)
+		best := DeliveredBandwidth(b, opt)
+		sum := b[0] + b[1] + b[2]
+		if math.Abs(best-sum) > 1e-9 {
+			return false
+		}
+		// a few perturbed splits must never beat the optimum
+		for _, eps := range []float64{0.01, 0.1, 0.25} {
+			p := []float64{opt[0] + eps, opt[1] - eps/2, opt[2] - eps/2}
+			if p[1] <= 0 || p[2] <= 0 {
+				continue
+			}
+			if DeliveredBandwidth(b, p) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveredBandwidthEdge(t *testing.T) {
+	if got := DeliveredBandwidth(nil, nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := DeliveredBandwidth([]float64{0}, []float64{1}); got != 0 {
+		t.Fatalf("zero-bandwidth source with traffic = %v", got)
+	}
+	if got := DeliveredBandwidth([]float64{10, 20}, []float64{0, 0}); got != 0 {
+		t.Fatalf("no traffic = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	DeliveredBandwidth([]float64{1}, []float64{1, 0})
+}
+
+func TestMaxDeliveredBandwidth(t *testing.T) {
+	b := []float64{102.4, 38.4}
+	if got := MaxDeliveredBandwidth(b, 1); got != 140.8 {
+		t.Fatalf("C=1: %v", got)
+	}
+	if got := MaxDeliveredBandwidth(b, 2); got != 70.4 {
+		t.Fatalf("C=2: %v", got)
+	}
+	if got := MaxDeliveredBandwidth(b, 0.5); got != 140.8 {
+		t.Fatalf("C<1 must clamp: %v", got)
+	}
+}
+
+func TestApproxRatioPaperExample(t *testing.T) {
+	// K = 102.4/38.4 = 8/3; the paper approximates it as 11/4.
+	r := ApproxRatio(8.0/3.0, 4)
+	if r.Num != 11 || r.Den != 4 {
+		t.Fatalf("K approx = %d/%d, want 11/4", r.Num, r.Den)
+	}
+}
+
+func TestApproxRatioExactValues(t *testing.T) {
+	r := ApproxRatio(2.0, 4)
+	if r.Float() != 2.0 {
+		t.Fatalf("2.0 -> %d/%d", r.Num, r.Den)
+	}
+	r = ApproxRatio(1.5, 4)
+	if r.Float() != 1.5 {
+		t.Fatalf("1.5 -> %d/%d", r.Num, r.Den)
+	}
+}
+
+// Property: the approximation error never exceeds 1/(2*maxDen), and the
+// denominator respects the bound.
+func TestApproxRatioBounds(t *testing.T) {
+	f := func(x16 uint16, d8 uint8) bool {
+		x := float64(x16)/1000 + 0.1
+		maxDen := int64(d8%8) + 1
+		pow2 := int64(1)
+		for pow2*2 <= maxDen {
+			pow2 *= 2
+		}
+		r := ApproxRatio(x, maxDen)
+		if r.Den < 1 || r.Den > maxDen || r.Den&(r.Den-1) != 0 {
+			return false
+		}
+		return math.Abs(r.Float()-x) <= 0.5/float64(pow2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,549 @@
+package cpu
+
+import (
+	"dap/internal/cache"
+	"dap/internal/mem"
+	"dap/internal/sim"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// CPU is the processor complex: cores, private L1/L2, shared inclusive L3.
+type CPU struct {
+	cfg     Config
+	eng     *sim.Engine
+	backend Backend
+	l3      *cache.Cache
+	cores   []*core
+
+	startAt   mem.Cycle
+	remaining int
+}
+
+// New builds the processor complex. Streams are attached with SetStreams.
+func New(cfg Config, eng *sim.Engine, backend Backend) *CPU {
+	c := &CPU{cfg: cfg, eng: eng, backend: backend}
+	c.l3 = cache.NewBytes(cfg.L3Bytes, cfg.L3Ways, cache.LRU)
+	for i := 0; i < cfg.Cores; i++ {
+		co := &core{
+			cpu: c, id: i,
+			l1:   cache.NewBytes(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
+			l2:   cache.NewBytes(cfg.L2Bytes, cfg.L2Ways, cache.LRU),
+			pf:   newStridePrefetcher(cfg.PFStreams, cfg.PFDegree, cfg.PFDistance),
+			mshr: make(map[mem.Addr]*missEntry),
+		}
+		c.cores = append(c.cores, co)
+	}
+	return c
+}
+
+// L3 exposes the shared cache (the harness borrows ways for the SRAM tag
+// cache / DBC by constructing the CPU with fewer L3 ways instead).
+func (c *CPU) L3() *cache.Cache { return c.l3 }
+
+// SetStreams attaches one workload stream per core.
+func (c *CPU) SetStreams(streams []workload.Stream) {
+	if len(streams) != len(c.cores) {
+		panic("cpu: stream count must equal core count")
+	}
+	for i, s := range streams {
+		c.cores[i].stream = s
+		c.cores[i].loadFirst()
+	}
+}
+
+// Warm replays n accesses per core through the cache hierarchy and backend
+// functionally (no timing) to pre-populate all state. Cores are interleaved
+// in small chunks so shared structures (L3, memory-side cache) end up in a
+// realistic steady-state mix rather than dominated by the last core warmed.
+func (c *CPU) Warm(n int) {
+	const chunk = 64
+	for done := 0; done < n; done += chunk {
+		for _, co := range c.cores {
+			for i := 0; i < chunk && done+i < n; i++ {
+				co.warmExecute(co.pend)
+				co.loadNext()
+			}
+		}
+	}
+}
+
+// Start begins timed execution: every core runs until it has fetched target
+// instructions; cores that finish early keep running (as in the paper).
+func (c *CPU) Start(target uint64) {
+	c.startAt = c.eng.Now()
+	c.remaining = len(c.cores)
+	for _, co := range c.cores {
+		co.target = target
+		co.fetched = 0
+		co.fetchedAt = c.eng.Now()
+		co.pendPos = uint64(co.pend.Gap)
+		co.finished = false
+		co.st = stats.CoreStats{}
+		co.advance()
+	}
+}
+
+// Done reports whether every core reached its target.
+func (c *CPU) Done() bool { return c.remaining == 0 }
+
+// CoreStats returns a copy of the per-core statistics.
+func (c *CPU) CoreStats() []stats.CoreStats {
+	out := make([]stats.CoreStats, len(c.cores))
+	for i, co := range c.cores {
+		out[i] = co.st
+		if !co.finished {
+			out[i].Instructions = co.fetched
+			out[i].Cycles = c.eng.Now() - c.startAt
+		}
+	}
+	return out
+}
+
+const noLimit = ^uint64(0)
+
+// core implements the ROB-occupancy model described in the package comment.
+type core struct {
+	cpu    *CPU
+	id     int
+	stream workload.Stream
+	l1, l2 *cache.Cache
+	pf     *stridePrefetcher
+
+	pend    workload.Access
+	pendPos uint64 // absolute instruction index of pend
+
+	fetched   uint64
+	fetchedAt mem.Cycle
+	inflight  []uint64 // program-order positions of incomplete loads
+	depOut    bool     // a dependent (chase) load is outstanding
+	waitDep   bool     // issue stalled on the outstanding dependent load
+	wakeSet   bool     // a rate-limit wake event is scheduled
+
+	target   uint64
+	finished bool
+
+	lastIssue   mem.Cycle
+	issuedCycle int // accesses issued in the current cycle
+
+	st    stats.CoreStats
+	pfBuf []mem.Addr
+	pfOut int // outstanding prefetch fills
+	// mshr merges outstanding misses per line: secondary misses (demand or
+	// prefetch) attach to the primary instead of issuing duplicate reads.
+	mshr map[mem.Addr]*missEntry
+}
+
+// missEntry tracks one outstanding line fill and its merged waiters.
+type missEntry struct {
+	waiters []missWaiter
+	store   bool // some waiter stores (line installs dirty)
+}
+
+// missWaiter is a load blocked on an outstanding fill.
+type missWaiter struct {
+	pos       uint64
+	dependent bool
+	issued    mem.Cycle
+}
+
+func (co *core) loadFirst() {
+	co.pend = co.stream.Next()
+	co.pendPos = uint64(co.pend.Gap)
+}
+
+func (co *core) loadNext() {
+	a := co.stream.Next()
+	co.pendPos += 1 + uint64(a.Gap)
+	co.pend = a
+}
+
+func (co *core) windowLimit() uint64 {
+	if len(co.inflight) == 0 {
+		return noLimit
+	}
+	return co.inflight[0] + uint64(co.cpu.cfg.ROB)
+}
+
+// catchUp advances the fetch counter linearly to now, bounded by the pending
+// access position and the ROB window. Between events the window limit is
+// constant, so the linear model is exact.
+func (co *core) catchUp() {
+	now := co.cpu.eng.Now()
+	elapsed := uint64(now - co.fetchedAt)
+	can := co.fetched + elapsed*uint64(co.cpu.cfg.Width)
+	if can < co.fetched { // overflow guard
+		can = noLimit
+	}
+	tgt := co.pendPos
+	if l := co.windowLimit(); l < tgt {
+		tgt = l
+	}
+	if can > tgt {
+		can = tgt
+	}
+	if can > co.fetched {
+		co.fetched = can
+	}
+	co.fetchedAt = now
+	co.checkFinished()
+}
+
+func (co *core) checkFinished() {
+	if !co.finished && co.fetched >= co.target && co.target > 0 {
+		co.finished = true
+		co.st.Instructions = co.target
+		co.st.Cycles = co.cpu.eng.Now() - co.cpu.startAt
+		co.cpu.remaining--
+	}
+}
+
+// advance is the core's event handler: fetch toward the next access, issue
+// it when reached, repeat; otherwise arrange to be woken.
+func (co *core) advance() {
+	eng := co.cpu.eng
+	for {
+		co.catchUp()
+		if co.fetched < co.pendPos {
+			limit := co.windowLimit()
+			if co.fetched >= limit {
+				return // window full: a load completion will re-advance
+			}
+			tgt := co.pendPos
+			if limit < tgt {
+				tgt = limit
+			}
+			w := uint64(co.cpu.cfg.Width)
+			dt := (tgt - co.fetched + w - 1) / w
+			if !co.wakeSet {
+				co.wakeSet = true
+				eng.After(mem.Cycle(dt), func() {
+					co.wakeSet = false
+					co.advance()
+				})
+			}
+			return
+		}
+		// the pending access is fetchable now; it must also fit in the
+		// ROB window (its slot is pendPos, bounded by oldest+ROB)
+		if co.pendPos >= co.windowLimit() {
+			return // window full: a load completion will re-advance
+		}
+		if co.pend.Dependent && co.depOut {
+			co.waitDep = true
+			return
+		}
+		// cap memory issue rate at the pipeline width per cycle
+		if now := eng.Now(); now != co.lastIssue {
+			co.lastIssue, co.issuedCycle = now, 0
+		} else if co.issuedCycle >= co.cpu.cfg.Width {
+			if !co.wakeSet {
+				co.wakeSet = true
+				eng.After(1, func() {
+					co.wakeSet = false
+					co.advance()
+				})
+			}
+			return
+		}
+		co.issuedCycle++
+		a := co.pend
+		pos := co.pendPos
+		co.fetched = pos + 1 // the access instruction itself retires
+		co.loadNext()
+		co.execute(a, pos)
+		co.checkFinished()
+	}
+}
+
+// completeLoad removes a finished load from the window and resumes fetch.
+func (co *core) completeLoad(pos uint64, dependent bool) {
+	co.catchUp() // account progress under the old window limit first
+	for i, p := range co.inflight {
+		if p == pos {
+			co.inflight = append(co.inflight[:i], co.inflight[i+1:]...)
+			break
+		}
+	}
+	if dependent {
+		co.depOut = false
+		co.waitDep = false
+	}
+	co.advance()
+}
+
+// execute performs one memory access against the hierarchy.
+func (co *core) execute(a workload.Access, pos uint64) {
+	cpu := co.cpu
+	eng := cpu.eng
+	addr := a.Addr
+
+	// L1
+	if l := co.l1.Lookup(addr); l != nil {
+		if a.Store {
+			l.Dirty = true
+		}
+		return // L1 hits are free in this model
+	}
+
+	// train the prefetcher on the L1 miss stream
+	co.pfBuf = co.pf.observe(addr, co.pfBuf[:0])
+	pf := append([]mem.Addr(nil), co.pfBuf...)
+
+	isLoad := !a.Store
+	track := func(lat mem.Cycle) {
+		if isLoad {
+			co.inflight = append(co.inflight, pos)
+			if a.Dependent {
+				co.depOut = true
+			}
+			eng.After(lat, func() { co.completeLoad(pos, a.Dependent) })
+		}
+	}
+
+	switch {
+	case co.l2.Lookup(addr) != nil:
+		co.installL1(addr, a.Store)
+		track(cpu.cfg.L2Lat)
+	case cpu.l3.Lookup(addr) != nil:
+		co.installL2(addr, false)
+		co.installL1(addr, a.Store)
+		track(cpu.cfg.L3Lat)
+	default:
+		issued := eng.Now()
+		if isLoad {
+			co.st.L3ReadMisses++
+			co.inflight = append(co.inflight, pos)
+			if a.Dependent {
+				co.depOut = true
+			}
+		}
+		if e, pending := co.mshr[addr]; pending {
+			// secondary miss: merge into the outstanding fill
+			e.store = e.store || a.Store
+			if isLoad {
+				e.waiters = append(e.waiters, missWaiter{pos: pos, dependent: a.Dependent, issued: issued})
+			}
+			break
+		}
+		co.st.L3Misses++
+		e := &missEntry{store: a.Store}
+		if isLoad {
+			e.waiters = append(e.waiters, missWaiter{pos: pos, dependent: a.Dependent, issued: issued})
+		}
+		co.mshr[addr] = e
+		cpu.backend.Read(addr, co.id, mem.ReadKind, func(t mem.Cycle) { co.fillArrived(addr, t) })
+	}
+	co.issuePrefetches(pf)
+}
+
+// fillArrived completes an outstanding miss: install the line and release
+// every merged waiter.
+func (co *core) fillArrived(addr mem.Addr, t mem.Cycle) {
+	cpu := co.cpu
+	e := co.mshr[addr]
+	delete(co.mshr, addr)
+	co.fillFromMemory(addr, e != nil && e.store)
+	if e == nil {
+		return
+	}
+	for _, w := range e.waiters {
+		w := w
+		co.st.L3ReadMissLatSum += t - w.issued + cpu.cfg.L3Lat
+		co.st.L3MissLat.Add(uint64(t - w.issued + cpu.cfg.L3Lat))
+		cpu.eng.After(cpu.cfg.L3Lat, func() { co.completeLoad(w.pos, w.dependent) })
+	}
+}
+
+// fillFromMemory installs a returned line into L3, L2 and L1.
+func (co *core) fillFromMemory(addr mem.Addr, store bool) {
+	co.installL3(addr)
+	co.installL2(addr, false)
+	co.installL1(addr, store)
+}
+
+func (co *core) issuePrefetches(cands []mem.Addr) {
+	cpu := co.cpu
+	max := cpu.cfg.PFOutstanding
+	if max <= 0 {
+		max = 32
+	}
+	for _, p := range cands {
+		p := p
+		if co.pfOut >= max {
+			return
+		}
+		if co.l2.Probe(p) != nil || cpu.l3.Probe(p) != nil {
+			continue
+		}
+		if _, dup := co.mshr[p]; dup {
+			continue
+		}
+		co.mshr[p] = &missEntry{}
+		co.pfOut++
+		cpu.backend.Read(p, co.id, mem.PrefetchKind, func(t mem.Cycle) {
+			co.pfOut--
+			co.fillArrived(p, t)
+		})
+	}
+}
+
+// installL1 inserts into L1; a dirty victim marks the (inclusive) L2 copy.
+func (co *core) installL1(addr mem.Addr, dirty bool) {
+	if l := co.l1.Probe(addr); l != nil {
+		l.Dirty = l.Dirty || dirty
+		return
+	}
+	ev := co.l1.Insert(addr, dirty)
+	if ev.Valid && ev.Dirty {
+		si, _ := co.l1.Index(addr)
+		va := co.l1.LineAddr(si, ev.Tag)
+		if l := co.l2.Probe(va); l != nil {
+			l.Dirty = true
+		} else if l3 := co.cpu.l3.Probe(va); l3 != nil {
+			l3.Dirty = true
+		} else {
+			co.cpu.backend.Writeback(va, co.id)
+		}
+	}
+}
+
+// installL2 inserts into L2; victims invalidate L1 and dirty data settles in
+// the (inclusive) L3 copy.
+func (co *core) installL2(addr mem.Addr, dirty bool) {
+	if l := co.l2.Probe(addr); l != nil {
+		l.Dirty = l.Dirty || dirty
+		return
+	}
+	ev := co.l2.Insert(addr, dirty)
+	if !ev.Valid {
+		return
+	}
+	si, _ := co.l2.Index(addr)
+	va := co.l2.LineAddr(si, ev.Tag)
+	d := ev.Dirty
+	if l1, ok := co.l1.Invalidate(va); ok && l1.Dirty {
+		d = true
+	}
+	if d {
+		if l3 := co.cpu.l3.Probe(va); l3 != nil {
+			l3.Dirty = true
+		} else {
+			co.cpu.backend.Writeback(va, co.id)
+		}
+	}
+}
+
+// installL3 inserts into the shared L3; victims back-invalidate the owning
+// core's private caches and dirty lines are written back below.
+func (co *core) installL3(addr mem.Addr) {
+	cpu := co.cpu
+	if cpu.l3.Probe(addr) != nil {
+		return
+	}
+	ev := cpu.l3.Insert(addr, false)
+	if !ev.Valid {
+		return
+	}
+	si, _ := cpu.l3.Index(addr)
+	va := cpu.l3.LineAddr(si, ev.Tag)
+	dirty := ev.Dirty
+	if owner := ownerOf(va); owner >= 0 && owner < len(cpu.cores) {
+		oc := cpu.cores[owner]
+		if l1, ok := oc.l1.Invalidate(va); ok && l1.Dirty {
+			dirty = true
+		}
+		if l2, ok := oc.l2.Invalidate(va); ok && l2.Dirty {
+			dirty = true
+		}
+	}
+	if dirty {
+		cpu.backend.Writeback(va, co.id)
+	}
+}
+
+// ownerOf maps a core-private address back to its core index.
+func ownerOf(a mem.Addr) int { return int(a/workload.CoreSpacing) - 1 }
+
+// warmExecute is the functional (timing-free) twin of execute.
+func (co *core) warmExecute(a workload.Access) {
+	addr := a.Addr
+	if l := co.l1.Lookup(addr); l != nil {
+		if a.Store {
+			l.Dirty = true
+		}
+		return
+	}
+	co.pfBuf = co.pf.observe(addr, co.pfBuf[:0]) // keep the prefetcher trained
+	if co.l2.Lookup(addr) != nil {
+		co.installL1w(addr, a.Store)
+		return
+	}
+	if co.cpu.l3.Lookup(addr) != nil {
+		co.installL2w(addr)
+		co.installL1w(addr, a.Store)
+		return
+	}
+	co.cpu.backend.WarmRead(addr, co.id)
+	co.installL3w(addr)
+	co.installL2w(addr)
+	co.installL1w(addr, a.Store)
+}
+
+func (co *core) installL1w(addr mem.Addr, dirty bool) {
+	ev := co.l1.Insert(addr, dirty)
+	if ev.Valid && ev.Dirty {
+		si, _ := co.l1.Index(addr)
+		va := co.l1.LineAddr(si, ev.Tag)
+		if l := co.l2.Probe(va); l != nil {
+			l.Dirty = true
+		} else if l3 := co.cpu.l3.Probe(va); l3 != nil {
+			l3.Dirty = true
+		} else {
+			co.cpu.backend.WarmWriteback(va, co.id)
+		}
+	}
+}
+
+func (co *core) installL2w(addr mem.Addr) {
+	ev := co.l2.Insert(addr, false)
+	if !ev.Valid {
+		return
+	}
+	si, _ := co.l2.Index(addr)
+	va := co.l2.LineAddr(si, ev.Tag)
+	d := ev.Dirty
+	if l1, ok := co.l1.Invalidate(va); ok && l1.Dirty {
+		d = true
+	}
+	if d {
+		if l3 := co.cpu.l3.Probe(va); l3 != nil {
+			l3.Dirty = true
+		} else {
+			co.cpu.backend.WarmWriteback(va, co.id)
+		}
+	}
+}
+
+func (co *core) installL3w(addr mem.Addr) {
+	cpu := co.cpu
+	ev := cpu.l3.Insert(addr, false)
+	if !ev.Valid {
+		return
+	}
+	si, _ := cpu.l3.Index(addr)
+	va := cpu.l3.LineAddr(si, ev.Tag)
+	dirty := ev.Dirty
+	if owner := ownerOf(va); owner >= 0 && owner < len(cpu.cores) {
+		oc := cpu.cores[owner]
+		if l1, ok := oc.l1.Invalidate(va); ok && l1.Dirty {
+			dirty = true
+		}
+		if l2, ok := oc.l2.Invalidate(va); ok && l2.Dirty {
+			dirty = true
+		}
+	}
+	if dirty {
+		cpu.backend.WarmWriteback(va, co.id)
+	}
+}

@@ -1,0 +1,94 @@
+package cpu
+
+import "dap/internal/mem"
+
+// stridePrefetcher is a multi-stream stride prefetcher (one per core). It
+// tracks up to Streams independent access streams keyed by 4 KB region,
+// detects a repeated line stride, and once confident emits Degree prefetch
+// candidates up to Distance lines ahead of the demand stream.
+type stridePrefetcher struct {
+	streams  []pfStream
+	degree   int
+	distance int64
+	issued   uint64
+}
+
+type pfStream struct {
+	valid     bool
+	region    mem.Addr // 4 KB-aligned region tag
+	lastLine  int64
+	stride    int64
+	confident bool
+	ahead     int64 // lines already prefetched ahead of lastLine
+	lastUse   uint64
+}
+
+func newStridePrefetcher(streams, degree, distance int) *stridePrefetcher {
+	if streams <= 0 {
+		streams = 1
+	}
+	return &stridePrefetcher{
+		streams:  make([]pfStream, streams),
+		degree:   degree,
+		distance: int64(distance),
+	}
+}
+
+// observe trains on a demand access (L1 miss stream) and appends up to
+// Degree prefetch line addresses to out, returning the extended slice.
+func (p *stridePrefetcher) observe(addr mem.Addr, out []mem.Addr) []mem.Addr {
+	if p.degree == 0 {
+		return out
+	}
+	line := int64(addr.Line())
+	region := addr &^ (4096 - 1)
+	p.issued++
+
+	// find or allocate the stream for this region (LRU victim)
+	var s *pfStream
+	victim, oldest := 0, ^uint64(0)
+	for i := range p.streams {
+		st := &p.streams[i]
+		if st.valid && st.region == region {
+			s = st
+			break
+		}
+		if st.lastUse < oldest {
+			victim, oldest = i, st.lastUse
+		}
+	}
+	if s == nil {
+		s = &p.streams[victim]
+		*s = pfStream{valid: true, region: region, lastLine: line, lastUse: p.issued}
+		return out
+	}
+	s.lastUse = p.issued
+	d := line - s.lastLine
+	if d == 0 {
+		return out
+	}
+	switch {
+	case s.stride == d:
+		s.confident = true
+	case s.stride != 0:
+		s.confident = false
+		s.ahead = 0
+	}
+	s.stride = d
+	s.lastLine = line
+	if !s.confident {
+		return out
+	}
+	if s.ahead > 0 {
+		s.ahead-- // demand consumed one prefetched line
+	}
+	for i := 0; i < p.degree && s.ahead < p.distance; i++ {
+		s.ahead++
+		target := line + s.ahead*s.stride
+		if target < 0 {
+			break
+		}
+		out = append(out, mem.Addr(target<<mem.LineShift))
+	}
+	return out
+}

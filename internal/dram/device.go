@@ -1,0 +1,105 @@
+package dram
+
+import (
+	"dap/internal/mem"
+	"dap/internal/sim"
+)
+
+// Device is a multi-channel DRAM bandwidth source. Lines are interleaved
+// across channels at 64 B granularity; banks are selected from higher
+// address bits XOR-folded with the row index to spread conflicts.
+type Device struct {
+	Cfg      Config
+	eng      *sim.Engine
+	channels []*channel
+
+	rowLines uint64 // lines per row
+
+	// Kinds counts accesses by kind for bandwidth attribution.
+	Kinds [8]uint64
+}
+
+// NewDevice builds a device from a configuration.
+func NewDevice(cfg Config, eng *sim.Engine) *Device {
+	d := &Device{Cfg: cfg, eng: eng, rowLines: uint64(cfg.RowBytes / mem.LineBytes)}
+	for i := 0; i < cfg.Channels; i++ {
+		d.channels = append(d.channels, newChannel(&d.Cfg, eng))
+	}
+	return d
+}
+
+// route decodes an address into channel, bank and row.
+func (d *Device) route(a mem.Addr) (ch, bk int, row int64) {
+	line := uint64(a.Line())
+	nch := uint64(len(d.channels))
+	ch = int(line % nch)
+	inCh := line / nch
+	r := inCh / d.rowLines
+	nbk := uint64(d.Cfg.Banks)
+	bk = int((r ^ (r >> 4)) % nbk)
+	return ch, bk, int64(r)
+}
+
+// Enqueue submits a request to the device. The request's Done callback (if
+// any) fires when data is transferred.
+func (d *Device) Enqueue(r *mem.Request) {
+	d.Kinds[r.Kind]++
+	ch, bk, row := d.route(r.Addr)
+	d.channels[ch].enqueue(r, bk, row)
+}
+
+// Access is a convenience wrapper building a Request.
+func (d *Device) Access(a mem.Addr, k mem.Kind, core int, done func(mem.Cycle)) {
+	d.Enqueue(&mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), Done: done})
+}
+
+// QueueLen returns the total queued requests across channels.
+func (d *Device) QueueLen() int {
+	n := 0
+	for _, ch := range d.channels {
+		n += ch.queueLen()
+	}
+	return n
+}
+
+// Stats sums channel statistics.
+func (d *Device) Stats() ChannelStats {
+	var s ChannelStats
+	for _, ch := range d.channels {
+		s.Reads += ch.stats.Reads
+		s.Writes += ch.stats.Writes
+		s.RowHits += ch.stats.RowHits
+		s.RowMisses += ch.stats.RowMisses
+		s.BusyCycles += ch.stats.BusyCycles
+		s.ReadLatSum += ch.stats.ReadLatSum
+		s.ReadLat.Merge(&ch.stats.ReadLat)
+		s.Refreshes += ch.stats.Refreshes
+		if ch.stats.QueuePeak > s.QueuePeak {
+			s.QueuePeak = ch.stats.QueuePeak
+		}
+	}
+	return s
+}
+
+// ResetStats clears all channel statistics (used after warmup).
+func (d *Device) ResetStats() {
+	for _, ch := range d.channels {
+		ch.stats = ChannelStats{}
+	}
+	d.Kinds = [8]uint64{}
+}
+
+// DeliveredGBps reports the average data bandwidth over a cycle span.
+func (d *Device) DeliveredGBps(cycles mem.Cycle) float64 {
+	s := d.Stats()
+	return mem.GBPerSec(s.CAS()*mem.LineBytes, cycles)
+}
+
+// AvgReadLatency returns the mean enqueue-to-data read latency in cycles.
+func (d *Device) AvgReadLatency() float64 {
+	s := d.Stats()
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatSum) / float64(s.Reads)
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"dap/internal/workload"
+)
+
+// TestCalibration prints the per-workload profile on the default sectored
+// system (baseline and DAP) so the synthetic specs can be tuned against the
+// paper's reported characteristics. Run with -v to see the table.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration table is long-running")
+	}
+	cfg := Default()
+	cfg.WarmAccesses = 250_000
+	cfg.MeasureInstr = 1_500_000
+
+	dapCfg := cfg
+	dapCfg.Policy = DAP
+
+	t.Logf("%-16s %6s %6s %6s %7s %7s %6s %6s %6s %6s | %6s %5s %5s %5s %5s",
+		"workload", "MPKI", "MShit", "tagMis", "IPCbase", "IPCdap", "NWS", "CASb", "CASd", "hitD",
+		"part%", "fwb", "wb", "ifrm", "sfrm")
+	for _, spec := range workload.All() {
+		mix := workload.RateMix(spec, cfg.CPU.Cores)
+		rb := RunMix(cfg, mix)
+		rd := RunMix(dapCfg, mix)
+		ipcB, ipcD := 0.0, 0.0
+		for i := range rb.Cores {
+			ipcB += rb.Cores[i].IPC()
+			ipcD += rd.Cores[i].IPC()
+		}
+		nws := 0.0
+		if ipcB > 0 {
+			nws = ipcD / ipcB
+		}
+		f, w, ifr, sf := rd.DAP.Fractions()
+		t.Logf("%-16s %6.1f %6.3f %6.3f %7.3f %7.3f %6.3f %6.3f %6.3f %6.3f | %6d %5.2f %5.2f %5.2f %5.2f",
+			spec.Name, rb.Cores[0].MPKI(), rb.MemSide.HitRatio(), rb.MemSide.TagCacheMissRatio(),
+			ipcB, ipcD, nws, rb.MainMemCASFraction(), rd.MainMemCASFraction(), rd.MemSide.HitRatio(),
+			rd.DAP.Total(), f, w, ifr, sf)
+	}
+}

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"testing"
+
+	"dap/internal/workload"
+)
+
+func TestDAPDebug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := Default()
+	cfg.WarmAccesses = 250_000
+	cfg.MeasureInstr = 1_000_000
+	cfg.Policy = DAP
+	for _, name := range []string{"libquantum", "hpcg", "parboil-lbm", "omnetpp", "mcf"} {
+		spec, _ := workload.ByName(name)
+		sys := Build(cfg, workload.RateMix(spec, cfg.CPU.Cores))
+		r := sys.Run()
+		d := sys.dap
+		t.Logf("%-12s windows=%d part=%.3f avgAMS=%.1f avgAMM=%.2f dec/partWin=%.2f casD=%.3f msCAS=%d mmCAS=%d cyc=%d",
+			name, d.Windows, float64(d.Partitioned)/float64(d.Windows),
+			float64(d.SumAMS)/float64(d.Windows), float64(d.SumAMM)/float64(d.Windows),
+			float64(r.DAP.Total())/float64(d.Partitioned+1),
+			r.MainMemCASFraction(), r.MSCacheCAS, r.MainMemCAS, r.Cycles)
+	}
+}

@@ -1,0 +1,659 @@
+package harness
+
+import (
+	"fmt"
+
+	"dap/internal/cache"
+
+	"dap/internal/core"
+	"dap/internal/dram"
+	"dap/internal/mem"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// Options scale the experiments: Quick shortens runs for tests and benches;
+// the cmd/figures binary uses full-length runs.
+type Options struct {
+	Quick bool
+}
+
+func (o Options) base() Config {
+	if o.Quick {
+		return Quick()
+	}
+	return Default()
+}
+
+// labeled pairs a configuration with its series label.
+type labeled struct {
+	label string
+	cfg   Config
+}
+
+// mixNames extracts the x-axis labels.
+func mixNames(mixes []workload.Mix) []string {
+	out := make([]string, len(mixes))
+	for i, m := range mixes {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func sensitiveMixes(cores int) []workload.Mix {
+	var out []workload.Mix
+	for _, s := range workload.Sensitive() {
+		out = append(out, workload.RateMix(s, cores))
+	}
+	return out
+}
+
+// nws runs every (config, mix) pair and returns normalized weighted speedup
+// series: WS(config)/WS(base) per mix, weighted by alone IPCs measured on
+// weightCfg.
+func nws(mixes []workload.Mix, base Config, alts []labeled, weightCfg Config) []Series {
+	cache := newAloneCache()
+	baseWS := make([]float64, len(mixes))
+	for i, m := range mixes {
+		r := RunMix(base, m)
+		baseWS[i] = cache.weightedSpeedup(r, weightCfg, m)
+	}
+	var out []Series
+	for _, alt := range alts {
+		s := Series{Label: alt.label, Names: mixNames(mixes), SummaryKind: "GMEAN"}
+		for i, m := range mixes {
+			r := RunMix(alt.cfg, m)
+			ws := cache.weightedSpeedup(r, weightCfg, m)
+			v := 0.0
+			if baseWS[i] > 0 {
+				v = ws / baseWS[i]
+			}
+			s.Values = append(s.Values, v)
+		}
+		s.Summary = stats.GeoMean(s.Values)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig01 reproduces Figure 1: delivered bandwidth against target hit rate for
+// the HBM DRAM cache and the eDRAM cache.
+func Fig01(o Options) Figure {
+	dur := mem.Cycle(4_000_000)
+	if o.Quick {
+		dur = 800_000
+	}
+	names := make([]string, len(Figure1HitRates))
+	dramS := Series{Label: "DRAM$", SummaryKind: ""}
+	edramS := Series{Label: "eDRAM$"}
+	for i, h := range Figure1HitRates {
+		names[i] = fmt.Sprintf("%.0f%%", h*100)
+		dramS.Values = append(dramS.Values, BandwidthKernel(KernelDRAMCache, h, 256, dur).DeliveredGBps)
+		edramS.Values = append(edramS.Values, BandwidthKernel(KernelEDRAM, h, 256, dur).DeliveredGBps)
+	}
+	dramS.Names, edramS.Names = names, names
+	return Figure{
+		ID:     "Fig. 1",
+		Title:  "Delivered bandwidth (GB/s) vs. memory-side cache hit rate",
+		Notes:  "DRAM$ saturates near the cache bandwidth past ~70% hits; eDRAM$ peaks mid-range and falls to its read-channel bandwidth at 100%",
+		Series: []Series{dramS, edramS},
+	}
+}
+
+// Fig02 reproduces Figure 2: doubling the eDRAM cache from 256 MB to 512 MB
+// (scaled 4 MB -> 8 MB): weighted speedup and drop in miss rate.
+func Fig02(o Options) Figure {
+	small := o.base()
+	small.Arch = SectoredEDRAM
+	big := small
+	big.EDRAM.CapacityBytes = small.EDRAM.CapacityBytes * 2
+
+	mixes := sensitiveMixes(small.CPU.Cores)
+	speed := nws(mixes, small, []labeled{{"512MB/256MB", big}}, small)[0]
+	speed.Label = "speedup"
+
+	drop := Series{Label: "missdrop%", Names: mixNames(mixes), SummaryKind: "MEAN"}
+	for _, m := range mixes {
+		rs := RunMix(small, m)
+		rb := RunMix(big, m)
+		drop.Values = append(drop.Values, 100*(rb.MemSide.HitRatio()-rs.MemSide.HitRatio()))
+	}
+	drop.Summary = stats.Mean(drop.Values)
+	return Figure{
+		ID:     "Fig. 2",
+		Title:  "512 MB vs 256 MB eDRAM cache: weighted speedup and miss-rate drop (pp)",
+		Series: []Series{speed, drop},
+	}
+}
+
+// Fig04 reproduces Figure 4: weighted speedup from doubling the DRAM cache
+// bandwidth, plus the baseline L3 MPKI of every snippet.
+func Fig04(o Options) Figure {
+	base := o.base()
+	double := base
+	double.Sectored.Array = dram.HBM204()
+
+	var mixes []workload.Mix
+	for _, s := range workload.All() {
+		mixes = append(mixes, workload.RateMix(s, base.CPU.Cores))
+	}
+	speed := nws(mixes, base, []labeled{{"2x-BW", double}}, base)[0]
+
+	mpki := Series{Label: "L3-MPKI", Names: mixNames(mixes), SummaryKind: "MEAN"}
+	for _, m := range mixes {
+		r := RunMix(base, m)
+		sum := 0.0
+		for i := range r.Cores {
+			sum += r.Cores[i].MPKI()
+		}
+		mpki.Values = append(mpki.Values, sum/float64(len(r.Cores)))
+	}
+	mpki.Summary = stats.Mean(mpki.Values)
+	return Figure{
+		ID:     "Fig. 4",
+		Title:  "Speedup from doubling DRAM cache bandwidth; baseline L3 MPKI",
+		Series: []Series{speed, mpki},
+	}
+}
+
+// Fig05 reproduces Figure 5: the benefit of the SRAM tag cache and its miss
+// ratio.
+func Fig05(o Options) Figure {
+	with := o.base()
+	without := with
+	without.Sectored.TagCacheEntries = 0
+
+	mixes := sensitiveMixes(with.CPU.Cores)
+	speed := nws(mixes, without, []labeled{{"tagcache", with}}, without)[0]
+
+	miss := Series{Label: "tagmiss", Names: mixNames(mixes), SummaryKind: "MEAN"}
+	for _, m := range mixes {
+		r := RunMix(with, m)
+		miss.Values = append(miss.Values, r.MemSide.TagCacheMissRatio())
+	}
+	miss.Summary = stats.Mean(miss.Values)
+	return Figure{
+		ID:           "Fig. 5",
+		Title:        "Weighted speedup with a tag cache; tag cache miss ratio",
+		PaperSummary: 1.16,
+		Series:       []Series{speed, miss},
+	}
+}
+
+// Fig06 reproduces Figure 6: DAP's weighted speedup on the sectored DRAM
+// cache and the normalized L3 read-miss latency.
+func Fig06(o Options) Figure {
+	base := o.base()
+	dapCfg := base
+	dapCfg.Policy = DAP
+
+	mixes := sensitiveMixes(base.CPU.Cores)
+	speed := nws(mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
+
+	lat := Series{Label: "norm-lat", Names: mixNames(mixes), SummaryKind: "MEAN"}
+	for _, m := range mixes {
+		rb := RunMix(base, m)
+		rd := RunMix(dapCfg, m)
+		v := 0.0
+		if l := rb.AvgL3ReadMissLatency(); l > 0 {
+			v = rd.AvgL3ReadMissLatency() / l
+		}
+		lat.Values = append(lat.Values, v)
+	}
+	lat.Summary = stats.Mean(lat.Values)
+	return Figure{
+		ID:           "Fig. 6",
+		Title:        "DAP on the sectored DRAM cache: speedup and normalized L3 read-miss latency",
+		PaperSummary: 1.152,
+		Series:       []Series{speed, lat},
+	}
+}
+
+// Fig07 reproduces Figure 7: the mix of DAP technique applications.
+func Fig07(o Options) Figure {
+	dapCfg := o.base()
+	dapCfg.Policy = DAP
+	mixes := sensitiveMixes(dapCfg.CPU.Cores)
+	names := mixNames(mixes)
+	fwb := Series{Label: "FWB", Names: names, SummaryKind: "MEAN"}
+	wb := Series{Label: "WB", Names: names}
+	ifrm := Series{Label: "IFRM", Names: names}
+	sfrm := Series{Label: "SFRM", Names: names}
+	for _, m := range mixes {
+		r := RunMix(dapCfg, m)
+		f, w, i, s := r.DAP.Fractions()
+		fwb.Values = append(fwb.Values, f)
+		wb.Values = append(wb.Values, w)
+		ifrm.Values = append(ifrm.Values, i)
+		sfrm.Values = append(sfrm.Values, s)
+	}
+	fwb.Summary = stats.Mean(fwb.Values)
+	wb.Summary, wb.SummaryKind = stats.Mean(wb.Values), "MEAN"
+	ifrm.Summary, ifrm.SummaryKind = stats.Mean(ifrm.Values), "MEAN"
+	sfrm.Summary, sfrm.SummaryKind = stats.Mean(sfrm.Values), "MEAN"
+	return Figure{
+		ID:     "Fig. 7",
+		Title:  "Share of DAP decisions by technique",
+		Notes:  "paper means: FWB 23%, WB 40%, IFRM 12%, SFRM 25%",
+		Series: []Series{fwb, wb, ifrm, sfrm},
+	}
+}
+
+// Fig08 reproduces Figure 8: main-memory CAS fraction (baseline vs DAP) and
+// the memory-side cache hit ratio (baseline, FWB+WB, full DAP).
+func Fig08(o Options) Figure {
+	base := o.base()
+	fw := base
+	fw.Policy = DAPFWBWB
+	dapCfg := base
+	dapCfg.Policy = DAP
+
+	mixes := sensitiveMixes(base.CPU.Cores)
+	names := mixNames(mixes)
+	casB := Series{Label: "CAS-base", Names: names, SummaryKind: "MEAN"}
+	casD := Series{Label: "CAS-dap", Names: names, SummaryKind: "MEAN"}
+	hitB := Series{Label: "hit-base", Names: names, SummaryKind: "MEAN"}
+	hitF := Series{Label: "hit-fwbwb", Names: names, SummaryKind: "MEAN"}
+	hitD := Series{Label: "hit-dap", Names: names, SummaryKind: "MEAN"}
+	for _, m := range mixes {
+		rb := RunMix(base, m)
+		rf := RunMix(fw, m)
+		rd := RunMix(dapCfg, m)
+		casB.Values = append(casB.Values, rb.MainMemCASFraction())
+		casD.Values = append(casD.Values, rd.MainMemCASFraction())
+		hitB.Values = append(hitB.Values, rb.MemSide.HitRatio())
+		hitF.Values = append(hitF.Values, rf.MemSide.HitRatio())
+		hitD.Values = append(hitD.Values, rd.MemSide.HitRatio())
+	}
+	for _, s := range []*Series{&casB, &casD, &hitB, &hitF, &hitD} {
+		s.Summary = stats.Mean(s.Values)
+	}
+	return Figure{
+		ID:     "Fig. 8",
+		Title:  "Main-memory CAS fraction and memory-side cache hit ratio",
+		Notes:  "optimal CAS fraction is B_MM/(B_MM+B_MS$) = 0.27; paper means: CAS 9%->25%, hit 89%->80% (FWB+WB) ->73% (DAP)",
+		Series: []Series{casB, casD, hitB, hitF, hitD},
+	}
+}
+
+// Tab01 reproduces Table I: sensitivity of the mean DAP speedup to the
+// window size W and the bandwidth-efficiency assumption E.
+func Tab01(o Options) Figure {
+	base := o.base()
+	mixes := sensitiveMixes(base.CPU.Cores)
+
+	var alts []labeled
+	for _, w := range []mem.Cycle{32, 64, 128} {
+		cfg := base
+		cfg.Policy = DAP
+		dc := dapConfigFor(&cfg)
+		dc.Window = w
+		cfg.DAPOverride = &dc
+		alts = append(alts, labeled{fmt.Sprintf("W=%d", w), cfg})
+	}
+	for _, e := range []float64{0.50, 0.75, 1.00} {
+		cfg := base
+		cfg.Policy = DAP
+		dc := dapConfigFor(&cfg)
+		dc.Efficiency = e
+		cfg.DAPOverride = &dc
+		alts = append(alts, labeled{fmt.Sprintf("E=%.2f", e), cfg})
+	}
+	series := nws(mixes, base, alts, base)
+	return Figure{
+		ID:     "Table I",
+		Title:  "DAP speedup vs window size W (E=0.75) and efficiency E (W=64)",
+		Notes:  "paper: W 32/64/128 -> 1.13/1.15/1.14; E 0.50/0.75/1.00 -> 1.14/1.15/1.12",
+		Series: series,
+	}
+}
+
+// Fig09 reproduces Figure 9: sensitivity to main-memory latency and
+// bandwidth. Each series is DAP normalized to the baseline with the same
+// main memory.
+func Fig09(o Options) Figure {
+	mems := []struct {
+		label string
+		cfg   dram.Config
+	}{
+		{"DDR4-2400", dram.DDR4_2400()},
+		{"no-I/O", dram.DDR4_2400NoIO()},
+		{"LPDDR4", dram.LPDDR4_2400()},
+		{"DDR4-3200", dram.DDR4_3200()},
+	}
+	var series []Series
+	for _, mm := range mems {
+		base := o.base()
+		base.MainMemory = mm.cfg
+		dapCfg := base
+		dapCfg.Policy = DAP
+		mixes := sensitiveMixes(base.CPU.Cores)
+		s := nws(mixes, base, []labeled{{mm.label, dapCfg}}, base)[0]
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "Fig. 9",
+		Title:  "DAP speedup under different main-memory technologies",
+		Notes:  "paper means: default 1.152, no-I/O 1.16, LPDDR4 1.08, DDR4-3200 higher than default",
+		Series: series,
+	}
+}
+
+// Fig10 reproduces Figure 10: sensitivity to DRAM cache capacity (top) and
+// bandwidth (bottom). Each series normalizes DAP to the baseline with the
+// same cache.
+func Fig10(o Options) Figure {
+	var series []Series
+	for _, cap := range []int{32 * mem.MiB, 64 * mem.MiB, 128 * mem.MiB} {
+		base := o.base()
+		base.Sectored.CapacityBytes = cap
+		dapCfg := base
+		dapCfg.Policy = DAP
+		mixes := sensitiveMixes(base.CPU.Cores)
+		s := nws(mixes, base, []labeled{{fmt.Sprintf("%dMB", cap/mem.MiB), dapCfg}}, base)[0]
+		series = append(series, s)
+	}
+	for _, arr := range []dram.Config{dram.HBM102(), dram.HBM128(), dram.HBM204()} {
+		base := o.base()
+		base.Sectored.Array = arr
+		dapCfg := base
+		dapCfg.Policy = DAP
+		mixes := sensitiveMixes(base.CPU.Cores)
+		s := nws(mixes, base, []labeled{{arr.Name, dapCfg}}, base)[0]
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "Fig. 10",
+		Title:  "DAP speedup vs cache capacity (2/4/8 GB scaled) and bandwidth",
+		Notes:  "paper: speedup grows with capacity; shrinks with cache bandwidth (15.2% at 102.4 -> 7% at 204.8)",
+		Series: series,
+	}
+}
+
+// Fig11 reproduces Figure 11: comparison with SBD, SBD-WT and BATMAN.
+func Fig11(o Options) Figure {
+	base := o.base()
+	mk := func(p Policy) Config { c := base; c.Policy = p; return c }
+	mixes := sensitiveMixes(base.CPU.Cores)
+	series := nws(mixes, base, []labeled{
+		{"SBD", mk(SBD)},
+		{"SBD-WT", mk(SBDWT)},
+		{"BATMAN", mk(BATMAN)},
+		{"DAP", mk(DAP)},
+	}, base)
+	return Figure{
+		ID:     "Fig. 11",
+		Title:  "Related proposals vs DAP (normalized weighted speedup)",
+		Notes:  "paper means: SBD 0.84, SBD-WT 1.055, BATMAN ~1.0, DAP 1.152",
+		Series: series,
+	}
+}
+
+// Fig12 reproduces Figure 12: DAP on the full 44-workload suite, grouped by
+// category and sorted by speedup within each.
+func Fig12(o Options) Figure {
+	base := o.base()
+	dapCfg := base
+	dapCfg.Policy = DAP
+	mixes := workload.AllMixes(base.CPU.Cores)
+	s := nws(mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
+	return Figure{
+		ID:           "Fig. 12",
+		Title:        "DAP across all 44 workloads (12 sensitive, 5 insensitive, 27 heterogeneous)",
+		PaperSummary: 1.13,
+		Series:       []Series{s},
+	}
+}
+
+// Fig13 reproduces Figure 13: DAP on a sixteen-core system with an 8 GB
+// (scaled 128 MB), 204.8 GB/s cache and DDR4-3200 memory.
+func Fig13(o Options) Figure {
+	base := o.base()
+	base.CPU.Cores = 16
+	base.CPU.L3Bytes = 16 * mem.MiB
+	base.MainMemory = dram.DDR4_3200()
+	base.Sectored.CapacityBytes = 128 * mem.MiB
+	base.Sectored.Array = dram.HBM204()
+	dapCfg := base
+	dapCfg.Policy = DAP
+	mixes := sensitiveMixes(base.CPU.Cores)
+	s := nws(mixes, base, []labeled{{"DAP-16c", dapCfg}}, base)[0]
+	return Figure{
+		ID:           "Fig. 13",
+		Title:        "DAP on a 16-core system",
+		PaperSummary: 1.146,
+		Series:       []Series{s},
+	}
+}
+
+// Fig14 reproduces Figure 14: BEAR and DAP on the Alloy cache, plus the
+// main-memory CAS fraction of each.
+func Fig14(o Options) Figure {
+	base := o.base()
+	base.Arch = AlloyCache
+	bear := base
+	bear.Alloy.BEAR = true
+	dapCfg := base
+	dapCfg.Policy = DAP
+
+	mixes := sensitiveMixes(base.CPU.Cores)
+	series := nws(mixes, base, []labeled{
+		{"Alloy+BEAR", bear},
+		{"Alloy+DAP", dapCfg},
+	}, base)
+
+	names := mixNames(mixes)
+	for _, v := range []struct {
+		label string
+		cfg   Config
+	}{{"CAS-base", base}, {"CAS-bear", bear}, {"CAS-dap", dapCfg}} {
+		s := Series{Label: v.label, Names: names, SummaryKind: "MEAN"}
+		for _, m := range mixes {
+			r := RunMix(v.cfg, m)
+			s.Values = append(s.Values, r.MainMemCASFraction())
+		}
+		s.Summary = stats.Mean(s.Values)
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "Fig. 14",
+		Title:  "Alloy cache: BEAR vs DAP speedups and main-memory CAS fraction",
+		Notes:  "paper means: BEAR 1.22, DAP 1.29; CAS fraction 13% (base), 15% (BEAR), 43% (DAP); optimal 36%",
+		Series: series,
+	}
+}
+
+// Fig15 reproduces Figure 15: DAP on 256 MB and 512 MB eDRAM caches
+// (scaled 4/8 MB), normalized to the 256 MB baseline, plus hit-rate deltas.
+func Fig15(o Options) Figure {
+	base := o.base()
+	base.Arch = SectoredEDRAM
+	dap256 := base
+	dap256.Policy = DAP
+	base512 := base
+	base512.EDRAM.CapacityBytes *= 2
+	dap512 := base512
+	dap512.Policy = DAP
+
+	mixes := sensitiveMixes(base.CPU.Cores)
+	series := nws(mixes, base, []labeled{
+		{"256MB+DAP", dap256},
+		{"512MB", base512},
+		{"512MB+DAP", dap512},
+	}, base)
+
+	names := mixNames(mixes)
+	for _, v := range []struct {
+		label string
+		cfg   Config
+	}{{"dHit-256dap", dap256}, {"dHit-512", base512}, {"dHit-512dap", dap512}} {
+		s := Series{Label: v.label, Names: names, SummaryKind: "MEAN"}
+		for _, m := range mixes {
+			rb := RunMix(base, m)
+			r := RunMix(v.cfg, m)
+			s.Values = append(s.Values, r.MemSide.HitRatio()-rb.MemSide.HitRatio())
+		}
+		s.Summary = stats.Mean(s.Values)
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "Fig. 15",
+		Title:  "eDRAM cache: DAP at 256/512 MB and hit-rate change vs 256 MB baseline",
+		Notes:  "paper: 256MB+DAP -9.5pp hits +7% perf; 512MB +4pp +2%; 512MB+DAP -6.5pp +11%",
+		Series: series,
+	}
+}
+
+// AblationCreditWidth sweeps the credit-counter saturation value.
+func AblationCreditWidth(o Options) Figure {
+	return ablateDAP(o, "credit cap", []int64{15, 63, 255, 4095}, func(dc *core.Config, v int64) {
+		dc.CreditCap = v
+	})
+}
+
+// AblationKApprox sweeps the precision of the hardware K approximation.
+func AblationKApprox(o Options) Figure {
+	return ablateDAP(o, "K denominator", []int64{1, 2, 4, 64}, func(dc *core.Config, v int64) {
+		dc.MaxKDen = v
+	})
+}
+
+// AblationSFRMReserve sweeps the SFRM bandwidth reserve.
+func AblationSFRMReserve(o Options) Figure {
+	vals := []int64{40, 60, 80, 100}
+	return ablateDAP(o, "SFRM reserve %", vals, func(dc *core.Config, v int64) {
+		dc.SFRMReserve = float64(v) / 100
+	})
+}
+
+// AblationTechniques disables one DAP technique at a time.
+func AblationTechniques(o Options) Figure {
+	base := o.base()
+	mixes := ablationMixes(o, base)
+	mk := func(label string, f func(*core.Config)) labeled {
+		cfg := base
+		cfg.Policy = DAP
+		dc := dapConfigFor(&cfg)
+		f(&dc)
+		cfg.DAPOverride = &dc
+		return labeled{label, cfg}
+	}
+	series := nws(mixes, base, []labeled{
+		mk("full", func(*core.Config) {}),
+		mk("-FWB", func(d *core.Config) { d.Disable.FWB = true }),
+		mk("-WB", func(d *core.Config) { d.Disable.WB = true }),
+		mk("-IFRM", func(d *core.Config) { d.Disable.IFRM = true }),
+		mk("-SFRM", func(d *core.Config) { d.Disable.SFRM = true }),
+	}, base)
+	return Figure{
+		ID:     "Abl. T",
+		Title:  "DAP with one technique disabled (normalized weighted speedup)",
+		Series: series,
+	}
+}
+
+// AblationLearning compares the paper's raw per-window learning against an
+// exponentially smoothed (EWMA) variant.
+func AblationLearning(o Options) Figure {
+	base := o.base()
+	mixes := ablationMixes(o, base)
+	mk := func(label string, ewma bool) labeled {
+		cfg := base
+		cfg.Policy = DAP
+		dc := dapConfigFor(&cfg)
+		dc.EWMALearning = ewma
+		cfg.DAPOverride = &dc
+		return labeled{label, cfg}
+	}
+	return Figure{
+		ID:     "Abl. L",
+		Title:  "Window learning: raw windows (paper) vs EWMA smoothing",
+		Series: nws(mixes, base, []labeled{mk("raw", false), mk("ewma", true)}, base),
+	}
+}
+
+// AblationThreadAware compares plain IFRM with the Section IV-A thread-aware
+// variant on heterogeneous mixes (where latency sensitivity differs across
+// cores; rate mixes are homogeneous, so the variant is a no-op there).
+func AblationThreadAware(o Options) Figure {
+	base := o.base()
+	n := 8
+	if o.Quick {
+		n = 4
+	}
+	mixes := workload.HeterogeneousMixes(base.CPU.Cores)[:n]
+	plain := base
+	plain.Policy = DAP
+	aware := plain
+	aware.ThreadAwareIFRM = true
+	return Figure{
+		ID:     "Abl. TA",
+		Title:  "IFRM vs thread-aware IFRM on heterogeneous mixes",
+		Series: nws(mixes, base, []labeled{{"IFRM", plain}, {"thread-aware", aware}}, base),
+	}
+}
+
+// AblationReplacement compares sector replacement policies under DAP (the
+// paper uses NRU with its states in on-die SRAM).
+func AblationReplacement(o Options) Figure {
+	base := o.base()
+	mixes := ablationMixes(o, base)
+	mk := func(label string, p cache.ReplPolicy) labeled {
+		cfg := base
+		cfg.Policy = DAP
+		cfg.Sectored.Replacement = p
+		return labeled{label, cfg}
+	}
+	return Figure{
+		ID:    "Abl. R",
+		Title: "Sector replacement policy under DAP (baseline uses NRU)",
+		Series: nws(mixes, base, []labeled{
+			mk("NRU", cache.NRU), mk("LRU", cache.LRU),
+			mk("SRRIP", cache.SRRIP), mk("random", cache.Rand),
+		}, base),
+	}
+}
+
+// AblationFootprint measures the footprint prefetcher's contribution.
+func AblationFootprint(o Options) Figure {
+	base := o.base()
+	mixes := ablationMixes(o, base)
+	with := base
+	with.Policy = DAP
+	without := with
+	without.Sectored.Footprint = false
+	return Figure{
+		ID:     "Abl. F",
+		Title:  "DAP with and without the footprint prefetcher",
+		Series: nws(mixes, base, []labeled{{"footprint", with}, {"none", without}}, base),
+	}
+}
+
+// ablationMixes trims the workload list at quick scale so the ablation
+// benches stay fast; full-length runs use all twelve sensitive mixes.
+func ablationMixes(o Options, base Config) []workload.Mix {
+	mixes := sensitiveMixes(base.CPU.Cores)
+	if o.Quick {
+		mixes = mixes[:6]
+	}
+	return mixes
+}
+
+func ablateDAP(o Options, what string, vals []int64, apply func(*core.Config, int64)) Figure {
+	base := o.base()
+	mixes := ablationMixes(o, base)
+	var alts []labeled
+	for _, v := range vals {
+		cfg := base
+		cfg.Policy = DAP
+		dc := dapConfigFor(&cfg)
+		apply(&dc, v)
+		cfg.DAPOverride = &dc
+		alts = append(alts, labeled{fmt.Sprintf("%s=%d", what, v), cfg})
+	}
+	return Figure{
+		ID:     "Abl",
+		Title:  "DAP sensitivity: " + what,
+		Series: nws(mixes, base, alts, base),
+	}
+}

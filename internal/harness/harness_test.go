@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dap/internal/workload"
+)
+
+func quickMix() workload.Mix {
+	spec, _ := workload.ByName("libquantum")
+	return workload.RateMix(spec, 8)
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	r := RunMix(Quick(), quickMix())
+	if r.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if len(r.Cores) != 8 {
+		t.Fatalf("cores = %d", len(r.Cores))
+	}
+	for i, c := range r.Cores {
+		if c.Instructions == 0 || c.IPC() <= 0 || c.IPC() > 4.05 {
+			t.Fatalf("core %d: %+v", i, c)
+		}
+	}
+	if r.MSCacheCAS == 0 {
+		t.Fatal("memory-side cache saw no traffic")
+	}
+	if f := r.MainMemCASFraction(); f < 0 || f > 1 {
+		t.Fatalf("CAS fraction = %v", f)
+	}
+}
+
+func TestDAPRunPartitionsUnderPressure(t *testing.T) {
+	cfg := Quick()
+	cfg.Policy = DAP
+	r := RunMix(cfg, quickMix())
+	if r.DAP.Total() == 0 {
+		t.Fatal("DAP made no decisions on a bandwidth-saturated workload")
+	}
+	if r.MainMemCASFraction() <= 0.01 {
+		t.Fatal("DAP must move traffic to main memory")
+	}
+}
+
+func TestBaselineNeverPartitions(t *testing.T) {
+	r := RunMix(Quick(), quickMix())
+	if r.DAP.Total() != 0 {
+		t.Fatal("baseline must not record DAP decisions")
+	}
+}
+
+func TestArchitecturesRun(t *testing.T) {
+	for _, arch := range []Arch{SectoredDRAM, AlloyCache, SectoredEDRAM, NoMSCache} {
+		cfg := Quick()
+		cfg.Arch = arch
+		r := RunMix(cfg, quickMix())
+		if r.Cycles == 0 || r.Cores[0].Instructions == 0 {
+			t.Fatalf("arch %d produced empty run", arch)
+		}
+	}
+}
+
+func TestPoliciesRun(t *testing.T) {
+	for _, p := range []Policy{Baseline, DAP, DAPFWBWB, SBD, SBDWT, BATMAN} {
+		cfg := Quick()
+		cfg.Policy = p
+		r := RunMix(cfg, quickMix())
+		if r.Cycles == 0 {
+			t.Fatalf("policy %v produced empty run", p)
+		}
+	}
+}
+
+func TestDAPPoliciesOnAllArchitectures(t *testing.T) {
+	// Each architecture gets a workload whose working set gives it the
+	// paper's operating point: high hit rates, so the cache is the
+	// bottleneck and partitioning engages.
+	cases := []struct {
+		arch Arch
+		name string
+	}{
+		{SectoredDRAM, "libquantum"},
+		{AlloyCache, "libquantum"},
+		{SectoredEDRAM, "hpcg"},
+	}
+	for _, c := range cases {
+		cfg := Quick()
+		cfg.Arch = c.arch
+		cfg.Policy = DAP
+		spec, _ := workload.ByName(c.name)
+		r := RunMix(cfg, workload.RateMix(spec, cfg.CPU.Cores))
+		if r.DAP.Total() == 0 {
+			t.Errorf("arch %d (%s): DAP idle under saturation", c.arch, c.name)
+		}
+	}
+}
+
+func TestAloneIPCPositive(t *testing.T) {
+	spec, _ := workload.ByName("gcc.expr")
+	v := AloneIPC(Quick(), spec)
+	if v <= 0 || v > 4 {
+		t.Fatalf("alone IPC = %v", v)
+	}
+}
+
+func TestHeterogeneousMixRuns(t *testing.T) {
+	mixes := workload.HeterogeneousMixes(8)
+	r := RunMix(Quick(), mixes[0])
+	if r.Cycles == 0 {
+		t.Fatal("heterogeneous mix failed")
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	f := Figure{
+		ID:    "Fig. X",
+		Title: "test",
+		Series: []Series{
+			{Label: "a", Names: []string{"w1", "w2"}, Values: []float64{1, 2}, Summary: 1.41, SummaryKind: "GMEAN"},
+			{Label: "b", Names: []string{"w1", "w2"}, Values: []float64{3, 4}, Summary: 3.46, SummaryKind: "GMEAN"},
+		},
+		Notes: "hello",
+	}
+	s := f.String()
+	for _, want := range []string{"Fig. X", "w1", "w2", "GMEAN", "1.410", "hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig01Shape(t *testing.T) {
+	f := Fig01(Options{Quick: true})
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	dram, edram := f.Series[0].Values, f.Series[1].Values
+	// DRAM cache: monotone non-decreasing with hit rate; saturates high
+	if dram[5] < dram[0] || dram[5] < 80 {
+		t.Fatalf("DRAM$ shape wrong: %v", dram)
+	}
+	// eDRAM: 100%-hit point is LOWER than the mid-range peak (the paper's
+	// key observation) and equals roughly the read-channel bandwidth
+	peak := 0.0
+	for _, v := range edram {
+		if v > peak {
+			peak = v
+		}
+	}
+	if edram[5] >= peak {
+		t.Fatalf("eDRAM must lose bandwidth at 100%% hits: %v", edram)
+	}
+	if edram[5] < 40 || edram[5] > 55 {
+		t.Fatalf("eDRAM at 100%% should deliver ~51.2 GB/s: %v", edram)
+	}
+}
+
+func TestBandwidthKernelZeroHitIsMemoryBound(t *testing.T) {
+	r := BandwidthKernel(KernelDRAMCache, 0, 128, 500_000)
+	if r.DeliveredGBps > 38.4 {
+		t.Fatalf("0%% hits cannot exceed main-memory bandwidth: %v", r.DeliveredGBps)
+	}
+	if r.DeliveredGBps < 25 {
+		t.Fatalf("0%% hits should still stream near memory peak: %v", r.DeliveredGBps)
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	f := Figure{
+		ID:     "Fig. C",
+		Series: []Series{{Label: "x", Names: []string{"a", "bb"}, Values: []float64{1, 2}}},
+	}
+	c := f.Chart(0)
+	if !strings.Contains(c, "bb") || !strings.Contains(c, "█") {
+		t.Fatalf("chart = %q", c)
+	}
+	if f.Chart(5) != "" || f.Chart(-1) != "" {
+		t.Fatal("out-of-range series must render empty")
+	}
+}

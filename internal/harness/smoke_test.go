@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+
+	"dap/internal/workload"
+)
+
+func TestSmokeKernel(t *testing.T) {
+	for _, h := range Figure1HitRates {
+		r := BandwidthKernel(KernelDRAMCache, h, 256, 2_000_000)
+		t.Logf("dram$ hit=%.2f -> %.1f GB/s", h, r.DeliveredGBps)
+	}
+	for _, h := range Figure1HitRates {
+		r := BandwidthKernel(KernelEDRAM, h, 256, 2_000_000)
+		t.Logf("edram hit=%.2f -> %.1f GB/s", h, r.DeliveredGBps)
+	}
+}
+
+func TestSmokeRun(t *testing.T) {
+	cfg := Quick()
+	mix := workload.RateMix(workload.Sensitive()[7], cfg.CPU.Cores) // mcf
+	r := RunMix(cfg, mix)
+	t.Logf("cycles=%d", r.Cycles)
+	for i, c := range r.Cores {
+		if i < 2 {
+			t.Logf("core%d: IPC=%.3f MPKI=%.2f l3lat=%.0f", i, c.IPC(), c.MPKI(), c.AvgL3ReadMissLatency())
+		}
+	}
+	t.Logf("MS$ hit=%.3f tagmiss=%.3f mmCASfrac=%.3f delivered=%.1fGB/s",
+		r.MemSide.HitRatio(), r.MemSide.TagCacheMissRatio(), r.MainMemCASFraction(), r.DeliveredGBps)
+}

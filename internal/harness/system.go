@@ -1,0 +1,375 @@
+// Package harness assembles complete simulated systems (cores + SRAM
+// hierarchy + memory-side cache + main memory + partitioning policy), runs
+// workloads on them, and provides one driver per table and figure of the
+// paper's evaluation.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"dap/internal/core"
+	"dap/internal/cpu"
+	"dap/internal/dram"
+	"dap/internal/mem"
+	"dap/internal/mscache"
+	"dap/internal/policy"
+	"dap/internal/sim"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// Arch selects the memory-side cache architecture.
+type Arch int
+
+// Architectures.
+const (
+	SectoredDRAM Arch = iota
+	AlloyCache
+	SectoredEDRAM
+	NoMSCache // main memory only (sanity baselines)
+)
+
+// Policy selects the steering/partitioning policy on top of the cache.
+type Policy int
+
+// Policies.
+const (
+	Baseline Policy = iota
+	DAP
+	DAPFWBWB // DAP with only FWB+WB enabled (Figure 8's middle series)
+	SBD
+	SBDWT
+	BATMAN
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case DAP:
+		return "dap"
+	case DAPFWBWB:
+		return "dap-fwb-wb"
+	case SBD:
+		return "sbd"
+	case SBDWT:
+		return "sbd-wt"
+	case BATMAN:
+		return "batman"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config is a full system configuration.
+type Config struct {
+	CPU        cpu.Config
+	MainMemory dram.Config
+
+	Arch     Arch
+	Sectored mscache.SectoredConfig
+	Alloy    mscache.AlloyConfig
+	EDRAM    mscache.EDRAMConfig
+
+	Policy Policy
+	// DAPOverride, when non-nil, replaces the architecture-derived DAP
+	// parameters (Table I sensitivity and the ablations).
+	DAPOverride *core.Config
+	// ThreadAwareIFRM enables the Section IV-A thread-aware IFRM variant:
+	// pointer-chasing (latency-sensitive) threads keep their clean hits in
+	// the cache while insensitive threads' hits are bypassed first.
+	ThreadAwareIFRM bool
+
+	// WarmAccesses is the functional warmup length per core (accesses).
+	WarmAccesses int
+	// MeasureInstr is the timed run length per core (instructions).
+	MeasureInstr uint64
+	// MaxCycles aborts a runaway simulation (0 = a large default).
+	MaxCycles mem.Cycle
+}
+
+// Default returns the paper's default system: eight cores, a 4 GB (scaled
+// 64 MB) sectored HBM DRAM cache at 102.4 GB/s with tag cache and footprint
+// prefetcher, and dual-channel DDR4-2400 main memory.
+func Default() Config {
+	c := Config{
+		CPU:          cpu.Default(),
+		MainMemory:   dram.DDR4_2400(),
+		Arch:         SectoredDRAM,
+		Sectored:     mscache.DefaultSectored(),
+		Alloy:        mscache.DefaultAlloy(),
+		EDRAM:        mscache.DefaultEDRAM(),
+		Policy:       Baseline,
+		WarmAccesses: 400_000,
+		MeasureInstr: 3_000_000,
+	}
+	// the SRAM tag cache / DBC borrows one L3 way (Section V)
+	c.CPU.L3Ways = 15
+	return c
+}
+
+// Quick returns a shortened configuration for unit tests and -short benches.
+// Warmup still covers the largest workload footprints at least once.
+func Quick() Config {
+	c := Default()
+	c.WarmAccesses = 180_000
+	c.MeasureInstr = 400_000
+	return c
+}
+
+// Result captures everything one run measures.
+type Result struct {
+	stats.Run
+	Config Config
+	Mix    workload.Mix
+}
+
+// dapConfigFor derives the DAP parameters for the configured architecture.
+func dapConfigFor(cfg *Config) core.Config {
+	if cfg.DAPOverride != nil {
+		return *cfg.DAPOverride
+	}
+	mmBW := cfg.MainMemory.PeakGBps()
+	switch cfg.Arch {
+	case AlloyCache:
+		return core.DefaultConfig(core.AlloyArch,
+			mscache.AlloyEffectiveGBps(cfg.Alloy.Array.PeakGBps()), mmBW)
+	case SectoredEDRAM:
+		return core.DefaultConfig(core.EDRAMArch, cfg.EDRAM.ReadArray.PeakGBps(), mmBW)
+	default:
+		return core.DefaultConfig(core.SectoredArch, cfg.Sectored.Array.PeakGBps(), mmBW)
+	}
+}
+
+// mmOnly is the architecture-free backend used by NoMSCache configurations.
+type mmOnly struct {
+	mm *dram.Device
+	st stats.MemSideStats
+}
+
+func (m *mmOnly) Read(a mem.Addr, c int, k mem.Kind, done func(mem.Cycle)) {
+	m.st.ReadMisses++
+	m.mm.Access(a, k, c, done)
+}
+func (m *mmOnly) Writeback(a mem.Addr, c int) {
+	m.mm.Access(a, mem.WritebackKind, c, nil)
+}
+func (m *mmOnly) WarmRead(mem.Addr, int)       {}
+func (m *mmOnly) WarmWriteback(mem.Addr, int)  {}
+func (m *mmOnly) MSStats() *stats.MemSideStats { return &m.st }
+func (m *mmOnly) CacheCAS() uint64             { return 0 }
+func (m *mmOnly) ResetStats()                  { m.st = stats.MemSideStats{} }
+
+// System is an assembled simulation ready to run.
+type System struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	MM   *dram.Device
+	Ctrl mscache.Controller
+	CPU  *cpu.CPU
+	Part core.Partitioner
+
+	dap      *core.DAP
+	sectored *mscache.Sectored
+}
+
+// Build assembles a system for the given mix.
+func Build(cfg Config, mix workload.Mix) *System {
+	if len(mix.Specs) != cfg.CPU.Cores {
+		// allow rate mixes authored for a different core count
+		mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, cfg.CPU.Cores)}
+	}
+	s := &System{Cfg: cfg, Eng: sim.New()}
+	s.MM = dram.NewDevice(cfg.MainMemory, s.Eng)
+	s.Part = core.Nop{}
+
+	switch cfg.Arch {
+	case NoMSCache:
+		s.Ctrl = &mmOnly{mm: s.MM}
+	case AlloyCache:
+		ac := cfg.Alloy
+		if cfg.Policy == DAP || cfg.Policy == DAPFWBWB {
+			ac.BEAR = true // DAP builds on the BEAR presence bit (Section IV-B)
+		}
+		al := mscache.NewAlloy(ac, s.Eng, s.MM, s.Part)
+		if cfg.Policy == DAP || cfg.Policy == DAPFWBWB {
+			dc := dapWithPolicy(cfg, mix)
+			dc.Backlog = func() (int64, int64, int64) {
+				return int64(al.Device().QueueLen()), 0, int64(s.MM.QueueLen())
+			}
+			d := core.NewDAP(dc, s.Eng, al.Windows())
+			al.SetPartitioner(d)
+			s.Part, s.dap = d, d
+		}
+		s.Ctrl = al
+	case SectoredEDRAM:
+		ed := mscache.NewEDRAM(cfg.EDRAM, s.Eng, s.MM, s.Part)
+		if cfg.Policy == DAP || cfg.Policy == DAPFWBWB {
+			dc := dapWithPolicy(cfg, mix)
+			dc.Backlog = func() (int64, int64, int64) {
+				return int64(ed.ReadDevice().QueueLen()), int64(ed.WriteDevice().QueueLen()), int64(s.MM.QueueLen())
+			}
+			d := core.NewDAP(dc, s.Eng, ed.Windows())
+			ed.SetPartitioner(d)
+			s.Part, s.dap = d, d
+		}
+		s.Ctrl = ed
+	default:
+		sc := mscache.NewSectored(cfg.Sectored, s.Eng, s.MM, s.Part)
+		s.sectored = sc
+		switch cfg.Policy {
+		case DAP, DAPFWBWB:
+			dc := dapWithPolicy(cfg, mix)
+			dc.Backlog = func() (int64, int64, int64) {
+				return int64(sc.Device().QueueLen()), 0, int64(s.MM.QueueLen())
+			}
+			d := core.NewDAP(dc, s.Eng, sc.Windows())
+			sc.SetPartitioner(d)
+			s.Part, s.dap = d, d
+		case SBD:
+			sc.SBD = policy.NewSBD(false)
+		case SBDWT:
+			sc.SBD = policy.NewSBD(true)
+		case BATMAN:
+			sets := cfg.Sectored.CapacityBytes / cfg.Sectored.SectorBytes / cfg.Sectored.Ways
+			sc.BATMAN = policy.NewBATMAN(sets,
+				cfg.Sectored.Array.PeakGBps(), cfg.MainMemory.PeakGBps())
+		}
+		s.Ctrl = sc
+	}
+
+	s.CPU = cpu.New(cfg.CPU, s.Eng, s.Ctrl)
+	s.CPU.SetStreams(mix.Streams())
+	return s
+}
+
+func dapWithPolicy(cfg Config, mix workload.Mix) core.Config {
+	dc := dapConfigFor(&cfg)
+	if cfg.Policy == DAPFWBWB {
+		dc.Disable.IFRM = true
+		dc.Disable.SFRM = true
+	}
+	if cfg.ThreadAwareIFRM {
+		dc.ThreadAware = true
+		dc.LatencySensitive = make([]bool, len(mix.Specs))
+		for i, sp := range mix.Specs {
+			dc.LatencySensitive[i] = sp.ChaseFrac >= 0.2
+		}
+	}
+	return dc
+}
+
+func resize(specs []workload.Spec, n int) []workload.Spec {
+	out := make([]workload.Spec, n)
+	for i := range out {
+		out[i] = specs[i%len(specs)]
+	}
+	return out
+}
+
+// Run executes warmup plus the timed region and collects the results.
+func (s *System) Run() Result {
+	cfg := s.Cfg
+	s.CPU.Warm(cfg.WarmAccesses)
+	s.Ctrl.ResetStats()
+	s.MM.ResetStats()
+	if s.sectored != nil {
+		s.sectored.StartBATMAN()
+	}
+
+	start := s.Eng.Now()
+	s.CPU.Start(cfg.MeasureInstr)
+	limit := cfg.MaxCycles
+	if limit == 0 {
+		limit = mem.Cycle(400 * cfg.MeasureInstr) // far beyond any plausible CPI
+	}
+	s.Eng.RunWhile(func() bool {
+		return !s.CPU.Done() && s.Eng.Now()-start < limit
+	})
+	if s.dap != nil {
+		s.dap.Stop()
+	}
+
+	var r Result
+	r.Config = cfg
+	r.Cycles = s.Eng.Now() - start
+	r.Cores = s.CPU.CoreStats()
+	r.MemSide = *s.Ctrl.MSStats()
+	r.DAP = s.Part.Decisions()
+	r.MSCacheCAS = s.Ctrl.CacheCAS()
+	mmStats := s.MM.Stats()
+	r.MainMemCAS = mmStats.CAS()
+	r.DeliveredGBps = mem.GBPerSec((r.MSCacheCAS+r.MainMemCAS)*mem.LineBytes, r.Cycles)
+	return r
+}
+
+// RunMix builds and runs in one step.
+func RunMix(cfg Config, mix workload.Mix) Result {
+	return Build(cfg, mix).Run()
+}
+
+// RunSeeded runs the mix with a run-level stream seed (seed 0 equals RunMix).
+func RunSeeded(cfg Config, mix workload.Mix, seed uint64) Result {
+	s := Build(cfg, mix)
+	if seed != 0 {
+		if len(mix.Specs) != cfg.CPU.Cores {
+			mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, cfg.CPU.Cores)}
+		}
+		s.CPU.SetStreams(mix.StreamsSeeded(seed))
+	}
+	return s.Run()
+}
+
+// Replicate runs the mix over n seeds and returns the per-seed values of
+// metric plus their mean and (population) standard deviation — statistical
+// confidence for any reported number.
+func Replicate(cfg Config, mix workload.Mix, n int, metric func(Result) float64) (vals []float64, mean, std float64) {
+	for seed := 0; seed < n; seed++ {
+		r := RunSeeded(cfg, mix, uint64(seed))
+		vals = append(vals, metric(r))
+	}
+	mean = stats.Mean(vals)
+	for _, v := range vals {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return vals, mean, std
+}
+
+// AloneIPC measures a workload's single-core IPC on the given configuration
+// (the weight denominators of weighted speedup). The returned value is for
+// one copy of the spec running alone.
+func AloneIPC(cfg Config, spec workload.Spec) float64 {
+	cfg.CPU.Cores = 1
+	mix := workload.Mix{Name: spec.Name + "-alone", Specs: []workload.Spec{spec}}
+	r := RunMix(cfg, mix)
+	return r.Cores[0].IPC()
+}
+
+// aloneCache memoizes alone IPCs per (config fingerprint, workload).
+type aloneCache struct {
+	m map[string]float64
+}
+
+func newAloneCache() *aloneCache { return &aloneCache{m: make(map[string]float64)} }
+
+func (a *aloneCache) get(cfg Config, spec workload.Spec) float64 {
+	key := fmt.Sprintf("%s|%d|%d|%v|%s", spec.Name, cfg.Arch, cfg.CPU.Cores, cfg.MeasureInstr, cfg.MainMemory.Name)
+	if v, ok := a.m[key]; ok {
+		return v
+	}
+	v := AloneIPC(cfg, spec)
+	a.m[key] = v
+	return v
+}
+
+// WeightedSpeedupOf computes a run's weighted speedup using alone IPCs from
+// the cache (measured on cfgWeights, typically the baseline configuration).
+func (a *aloneCache) weightedSpeedup(r Result, cfgWeights Config, mix workload.Mix) float64 {
+	alone := make([]float64, len(r.Cores))
+	specs := resize(mix.Specs, len(r.Cores))
+	for i := range alone {
+		alone[i] = a.get(cfgWeights, specs[i])
+	}
+	return r.WeightedSpeedup(alone)
+}

@@ -1,0 +1,67 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Line() != 0x12345>>6 {
+		t.Fatalf("Line() = %#x", a.Line())
+	}
+	if a.LineAligned() != 0x12340 {
+		t.Fatalf("LineAligned() = %#x", a.LineAligned())
+	}
+}
+
+func TestLineAlignedProperty(t *testing.T) {
+	f := func(a Addr) bool {
+		al := a.LineAligned()
+		return al%LineBytes == 0 && al <= a && a-al < LineBytes && al.Line() == a.Line()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	// 102.4 GB/s at 4 GHz is 25.6 B/cycle = 0.4 accesses/cycle.
+	if got := BytesPerCycle(102.4); got != 25.6 {
+		t.Fatalf("BytesPerCycle = %v", got)
+	}
+	if got := AccessesPerCycle(102.4); got != 0.4 {
+		t.Fatalf("AccessesPerCycle = %v", got)
+	}
+	// round trip: bytes moved at a rate for a duration
+	if got := GBPerSec(25600, 1000); got < 102.39 || got > 102.41 {
+		t.Fatalf("GBPerSec = %v", got)
+	}
+	if got := GBPerSec(123, 0); got != 0 {
+		t.Fatalf("GBPerSec with zero cycles = %v", got)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	writes := []Kind{WritebackKind, FillKind, MetaWriteKind, PrefetchKind}
+	reads := []Kind{ReadKind, MetaReadKind, VictimRdKind}
+	for _, k := range writes {
+		if !k.IsWrite() {
+			t.Errorf("%v should be a write", k)
+		}
+	}
+	for _, k := range reads {
+		if k.IsWrite() {
+			t.Errorf("%v should be a read", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ReadKind.String() != "read" {
+		t.Fatalf("ReadKind.String() = %q", ReadKind)
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind must still format")
+	}
+}

@@ -1,0 +1,466 @@
+package mscache
+
+import (
+	"dap/internal/cache"
+	"dap/internal/core"
+	"dap/internal/dram"
+	"dap/internal/mem"
+	"dap/internal/sim"
+	"dap/internal/stats"
+)
+
+// AlloyConfig describes an Alloy cache: a direct-mapped DRAM cache whose
+// tag and data (TAD) are fused in the array, so every array access moves a
+// 72 B TAD over three HBM clocks instead of two — the bandwidth bloat BEAR
+// and DAP manage (Section VI-B).
+type AlloyConfig struct {
+	CapacityBytes int
+	// TADBurst is the device-clock occupancy of one TAD transfer.
+	TADBurst uint8
+
+	// BEAR enables the BEAR optimizations: the L3 presence bit that lets
+	// dirty writebacks skip the TAD fetch, a dead-fill bypass predictor,
+	// and miss-probe avoidance for predicted misses on known-clean sets.
+	// DAP also relies on the presence bit (Section IV-B).
+	BEAR bool
+
+	// DBCEntries/DBCWays size the SRAM dirty-bit cache used by DAP's
+	// forced misses; each entry covers a stretch of 64 consecutive sets.
+	DBCEntries int
+	DBCWays    int
+	DBCLat     mem.Cycle
+
+	Array dram.Config
+}
+
+// DefaultAlloy returns the paper's Alloy point at the 64x capacity scale.
+func DefaultAlloy() AlloyConfig {
+	return AlloyConfig{
+		CapacityBytes: 64 * mem.MiB,
+		TADBurst:      3,
+		DBCEntries:    512,
+		DBCWays:       4,
+		DBCLat:        5,
+		Array:         dram.HBM102(),
+	}
+}
+
+// AlloyEffectiveGBps returns the data bandwidth usable by an Alloy cache:
+// only two of every three TAD bus cycles carry data (Section VI-B).
+func AlloyEffectiveGBps(peak float64) float64 { return peak * 2 / 3 }
+
+// dbc is the dirty-bit cache: a small SRAM set-associative structure whose
+// entries each hold the dirty bits of 64 consecutive direct-mapped sets.
+type dbc struct {
+	sets, ways int
+	entries    []dbcEntry
+	tick       uint64
+}
+
+type dbcEntry struct {
+	valid bool
+	group uint64
+	bits  uint64 // dirty bit per set in the group
+	lru   uint64
+}
+
+func newDBC(entries, ways int) *dbc {
+	if ways <= 0 {
+		ways = 4
+	}
+	sets := entries / ways
+	if sets <= 0 {
+		sets = 1
+	}
+	return &dbc{sets: sets, ways: ways, entries: make([]dbcEntry, sets*ways)}
+}
+
+func (d *dbc) row(group uint64) []dbcEntry {
+	si := int(group % uint64(d.sets))
+	return d.entries[si*d.ways : (si+1)*d.ways]
+}
+
+// lookup returns the entry for a group, or nil on a DBC miss.
+func (d *dbc) lookup(group uint64) *dbcEntry {
+	d.tick++
+	row := d.row(group)
+	for i := range row {
+		if row[i].valid && row[i].group == group {
+			row[i].lru = d.tick
+			return &row[i]
+		}
+	}
+	return nil
+}
+
+// install allocates an entry for group with the given initial bits.
+func (d *dbc) install(group, bits uint64) *dbcEntry {
+	d.tick++
+	row := d.row(group)
+	v := &row[0]
+	for i := range row {
+		if !row[i].valid {
+			v = &row[i]
+			break
+		}
+		if row[i].lru < v.lru {
+			v = &row[i]
+		}
+	}
+	*v = dbcEntry{valid: true, group: group, bits: bits, lru: d.tick}
+	return v
+}
+
+// Alloy is the Alloy cache controller.
+type Alloy struct {
+	cfg AlloyConfig
+	eng *sim.Engine
+	dev *dram.Device
+	mm  *dram.Device
+
+	tags *cache.Cache // direct-mapped; Line.State bit0 = reused-since-fill
+	dbc  *dbc
+
+	part core.Partitioner
+	wc   core.WindowCounts
+	st   stats.MemSideStats
+
+	// hit/miss predictor: 2-bit counters hashed by 4 KB region and core.
+	pred []uint8
+	// fill-bypass predictor (BEAR): 2-bit usefulness counters trained by
+	// observed fill reuse.
+	fillPred []uint8
+}
+
+// NewAlloy builds the controller. mm is the shared main-memory device.
+func NewAlloy(cfg AlloyConfig, eng *sim.Engine, mm *dram.Device, part core.Partitioner) *Alloy {
+	a := &Alloy{cfg: cfg, eng: eng, mm: mm, part: part}
+	a.dev = dram.NewDevice(cfg.Array, eng)
+	sets := cfg.CapacityBytes / mem.LineBytes
+	a.tags = cache.New(sets, 1, cache.LRU, 1)
+	a.dbc = newDBC(cfg.DBCEntries, cfg.DBCWays)
+	a.pred = make([]uint8, 4096)
+	a.fillPred = make([]uint8, 4096)
+	for i := range a.pred {
+		a.pred[i] = 2 // weakly predict hit
+	}
+	for i := range a.fillPred {
+		a.fillPred[i] = 3 // fills start strongly useful; dead fills train it down
+	}
+	return a
+}
+
+// Windows exposes the window counters for the partitioner.
+func (a *Alloy) Windows() *core.WindowCounts { return &a.wc }
+
+// MSStats implements Controller.
+func (a *Alloy) MSStats() *stats.MemSideStats { return &a.st }
+
+// CacheCAS implements Controller.
+func (a *Alloy) CacheCAS() uint64 { st := a.dev.Stats(); return st.CAS() }
+
+// Device exposes the cache array.
+func (a *Alloy) Device() *dram.Device { return a.dev }
+
+// ResetStats implements Controller.
+func (a *Alloy) ResetStats() {
+	a.st = stats.MemSideStats{}
+	a.dev.ResetStats()
+}
+
+func predIdx(addr mem.Addr, coreID int) int {
+	h := uint64(addr>>12)*0x9e3779b97f4a7c15 + uint64(coreID)*0xbf58476d1ce4e5b9
+	return int((h >> 40) % 4096)
+}
+
+func (a *Alloy) predictHit(addr mem.Addr, coreID int) bool {
+	return a.pred[predIdx(addr, coreID)] >= 2
+}
+
+func (a *Alloy) trainPred(addr mem.Addr, coreID int, hit bool) {
+	i := predIdx(addr, coreID)
+	if hit {
+		if a.pred[i] < 3 {
+			a.pred[i]++
+		}
+	} else if a.pred[i] > 0 {
+		a.pred[i]--
+	}
+}
+
+// setOf returns the direct-mapped set of an address plus its DBC group and
+// in-group bit.
+func (a *Alloy) setOf(addr mem.Addr) (set int, group uint64, bit uint64) {
+	set, _ = a.tags.Index(addr)
+	group = uint64(set) / 64
+	bit = 1 << (uint64(set) % 64)
+	return set, group, bit
+}
+
+// tad enqueues a TAD-sized array access.
+func (a *Alloy) tad(addr mem.Addr, kind mem.Kind, coreID int, done func(mem.Cycle)) {
+	a.dev.Enqueue(&mem.Request{Addr: addr, Kind: kind, Core: coreID,
+		Issued: a.eng.Now(), Burst: a.cfg.TADBurst, Done: done})
+}
+
+// dbcBitsFromTags rebuilds a DBC entry from the tag array (models a
+// TAD-sourced refill of the dirty-bit cache).
+func (a *Alloy) dbcBitsFromTags(group uint64) uint64 {
+	var bits uint64
+	base := int(group * 64)
+	for i := 0; i < 64; i++ {
+		set := base + i
+		if set >= a.tags.Sets {
+			break
+		}
+		dirty := false
+		a.tags.ForEachInSet(set, func(l *cache.Line) { dirty = dirty || l.Dirty })
+		if dirty {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
+}
+
+// Read implements cpu.Backend.
+func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cycle)) {
+	addr = addr.LineAligned()
+	if done == nil {
+		done = func(mem.Cycle) {}
+	}
+	_, group, bit := a.setOf(addr)
+
+	dbcClean := false
+	if e := a.dbc.lookup(group); e != nil && e.bits&bit == 0 {
+		dbcClean = true
+		a.wc.CleanHits++ // IFRM candidate
+	}
+
+	// DAP forced miss: a DBC-known-clean set can be served from main
+	// memory, skipping the TAD fetch; the fill is implicitly skipped too.
+	if dbcClean && a.part.TakeIFRM(coreID) {
+		a.wc.AMSR++ // the TAD read this access would have demanded
+		a.st.ForcedMisses++
+		if a.tags.Probe(addr) != nil {
+			a.st.ReadHits++
+		} else {
+			a.st.ReadMisses++
+			a.wc.AMM++
+			a.wc.Rm++
+		}
+		a.eng.After(a.cfg.DBCLat, func() {
+			a.mm.Access(addr, mem.ReadKind, coreID, done)
+		})
+		return
+	}
+
+	predictedHit := a.predictHit(addr, coreID)
+
+	// BEAR miss-probe avoidance: a predicted miss on a known-clean set can
+	// skip the TAD probe (clean or absent lines are consistent with main
+	// memory, so the main-memory copy is always safe to use).
+	if a.cfg.BEAR && !predictedHit && dbcClean {
+		hit := a.tags.Probe(addr) != nil
+		a.trainPred(addr, coreID, hit)
+		if hit {
+			a.st.ReadHits++
+		} else {
+			a.st.ReadMisses++
+			a.wc.Rm++
+		}
+		a.wc.AMM++
+		a.mm.Access(addr, mem.ReadKind, coreID, func(t mem.Cycle) {
+			if !hit {
+				a.fill(addr, coreID, false, false)
+			}
+			done(t)
+		})
+		return
+	}
+
+	// Parallel miss handling: on a predicted miss, start the main-memory
+	// access alongside the TAD probe and join the two completions.
+	launchParallel := !predictedHit
+	var mmT mem.Cycle
+	mmArrived, tadMiss, resolved := false, false, false
+	finishMiss := func(t mem.Cycle) {
+		if resolved {
+			return
+		}
+		resolved = true
+		a.fill(addr, coreID, false, true)
+		done(t)
+	}
+	if launchParallel {
+		a.mm.Access(addr, mem.ReadKind, coreID, func(t mem.Cycle) {
+			mmArrived, mmT = true, t
+			if tadMiss {
+				finishMiss(t)
+			}
+		})
+	}
+
+	a.wc.AMSR++
+	a.tad(addr, mem.MetaReadKind, coreID, func(t mem.Cycle) {
+		line := a.tags.Probe(addr)
+		hit := line != nil
+		a.trainPred(addr, coreID, hit)
+		if hit {
+			a.st.ReadHits++
+			line.State |= 1 // reused
+			a.tags.Lookup(addr)
+			done(t) // the TAD carries the data; a parallel MM response is dropped
+			return
+		}
+		a.st.ReadMisses++
+		a.wc.AMM++
+		a.wc.Rm++
+		tadMiss = true
+		if launchParallel {
+			if mmArrived {
+				tt := t
+				if mmT > tt {
+					tt = mmT
+				}
+				finishMiss(tt)
+			}
+			return
+		}
+		a.mm.Access(addr, mem.ReadKind, coreID, func(tt mem.Cycle) { finishMiss(tt) })
+	})
+}
+
+// fill installs a returned line. probed reports whether a TAD read of the
+// victim's location already happened (its data is then in hand; otherwise a
+// dirty victim costs an extra TAD read before the main-memory write).
+func (a *Alloy) fill(addr mem.Addr, coreID int, dirty, probed bool) {
+	a.wc.AMSW++
+	if a.part.TakeFWB() {
+		a.st.FillBypasses++
+		return
+	}
+	if a.cfg.BEAR && !dirty && a.fillPred[predIdx(addr, coreID)] < 2 {
+		a.st.FillBypasses++
+		return
+	}
+	a.st.Fills++
+	_, group, bit := a.setOf(addr)
+	ev := a.tags.Insert(addr, dirty)
+	if nl := a.tags.Probe(addr); nl != nil {
+		nl.State = 0
+	}
+	if ev.Valid {
+		// train the fill predictor on the victim's observed reuse
+		i := predIdx(addr, coreID)
+		if ev.State&1 != 0 {
+			if a.fillPred[i] < 3 {
+				a.fillPred[i]++
+			}
+		} else if a.fillPred[i] > 0 {
+			a.fillPred[i]--
+		}
+		if ev.Dirty {
+			si, _ := a.tags.Index(addr)
+			va := a.tags.LineAddr(si, ev.Tag)
+			a.st.DirtyWriteouts++
+			a.wc.AMM++
+			if probed {
+				// the probe already moved the victim's TAD
+				a.mm.Access(va, mem.WritebackKind, -1, nil)
+			} else {
+				a.st.VictimReads++
+				a.wc.AMSR++
+				a.tad(va, mem.VictimRdKind, -1, func(mem.Cycle) {
+					a.mm.Access(va, mem.WritebackKind, -1, nil)
+				})
+			}
+		}
+	}
+	a.tad(addr, mem.FillKind, -1, nil)
+	e := a.dbc.lookup(group)
+	if e == nil {
+		e = a.dbc.install(group, a.dbcBitsFromTags(group))
+	}
+	if dirty {
+		e.bits |= bit
+	} else {
+		e.bits &^= bit
+	}
+}
+
+// Writeback implements cpu.Backend.
+func (a *Alloy) Writeback(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	_, group, bit := a.setOf(addr)
+	a.wc.Wm++
+
+	apply := func(probed bool) {
+		line := a.tags.Probe(addr)
+		if line == nil {
+			a.st.WriteMisses++
+			a.fill(addr, coreID, true, probed)
+			return
+		}
+		a.st.WriteHits++
+		a.wc.AMSW++
+		// DAP write-through: spend residual main-memory bandwidth keeping
+		// blocks clean so forced misses stay applicable.
+		wt := a.part.TakeWT()
+		line.Dirty = !wt
+		line.State |= 1
+		a.tags.Lookup(addr)
+		a.tad(addr, mem.WritebackKind, coreID, nil)
+		if wt {
+			a.mm.Access(addr, mem.WritebackKind, coreID, nil)
+		}
+		e := a.dbc.lookup(group)
+		if e == nil {
+			e = a.dbc.install(group, a.dbcBitsFromTags(group))
+		}
+		if wt {
+			e.bits &^= bit
+		} else {
+			e.bits |= bit
+		}
+	}
+
+	if a.cfg.BEAR {
+		// the L3 presence bit obviates the TAD fetch before a write
+		apply(false)
+		return
+	}
+	// baseline Alloy: a TAD fetch must establish presence first
+	a.wc.AMSR++
+	a.st.MetaReads++
+	a.tad(addr, mem.MetaReadKind, coreID, func(mem.Cycle) { apply(true) })
+}
+
+// WarmRead implements cpu.Backend's functional path.
+func (a *Alloy) WarmRead(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	if l := a.tags.Lookup(addr); l != nil {
+		l.State |= 1
+		return
+	}
+	a.tags.Insert(addr, false)
+}
+
+// WarmWriteback implements cpu.Backend's functional path.
+func (a *Alloy) WarmWriteback(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	_, group, bit := a.setOf(addr)
+	if l := a.tags.Lookup(addr); l != nil {
+		l.Dirty = true
+	} else {
+		a.tags.Insert(addr, true)
+	}
+	if e := a.dbc.lookup(group); e != nil {
+		e.bits |= bit
+	} else {
+		a.dbc.install(group, a.dbcBitsFromTags(group))
+	}
+}
+
+// SetPartitioner replaces the partitioning policy (used after construction
+// once the DAP instance has been wired to this controller's counters).
+func (a *Alloy) SetPartitioner(p core.Partitioner) { a.part = p }

@@ -1,0 +1,72 @@
+// Package mscache implements the three memory-side cache architectures the
+// paper evaluates DAP on: the die-stacked sectored DRAM cache (Section
+// VI-A), the Alloy cache (Section VI-B) and the sectored eDRAM cache
+// (Section VI-C). Each controller implements cpu.Backend, owns its DRAM
+// array device(s), shares the main-memory device, collects the per-window
+// demand counts DAP learns from, and consults a core.Partitioner at every
+// technique application point.
+package mscache
+
+import (
+	"math/bits"
+
+	"dap/internal/cpu"
+	"dap/internal/mem"
+	"dap/internal/stats"
+)
+
+// Controller is a memory-side cache plus its steering logic.
+type Controller interface {
+	cpu.Backend
+	// MSStats exposes the memory-side cache statistics.
+	MSStats() *stats.MemSideStats
+	// CacheCAS returns the CAS operations performed by the cache array so
+	// far (main-memory CAS comes from the shared device).
+	CacheCAS() uint64
+	// ResetStats clears statistics after warmup.
+	ResetStats()
+}
+
+// footprintTable is the history table of the footprint prefetcher [26]:
+// it remembers which blocks of a sector were touched during its last
+// residency so that the next allocation of that sector fetches only those.
+type footprintTable struct {
+	m   map[uint64]uint64
+	cap int
+}
+
+func newFootprintTable(capacity int) *footprintTable {
+	return &footprintTable{m: make(map[uint64]uint64, capacity), cap: capacity}
+}
+
+// predict returns the footprint recorded for a sector (0 when unknown).
+func (f *footprintTable) predict(sector uint64) uint64 { return f.m[sector] }
+
+// record stores a sector's observed footprint, evicting an arbitrary entry
+// when full.
+func (f *footprintTable) record(sector uint64, mask uint64) {
+	if len(f.m) >= f.cap {
+		if _, ok := f.m[sector]; !ok {
+			for k := range f.m {
+				delete(f.m, k)
+				break
+			}
+		}
+	}
+	f.m[sector] = mask
+}
+
+// forEachBit invokes fn with each set bit index of mask.
+func forEachBit(mask uint64, fn func(i uint)) {
+	for mask != 0 {
+		fn(uint(bits.TrailingZeros64(mask)))
+		mask &= mask - 1
+	}
+}
+
+// blockAddr returns the byte address of block i within the sector that
+// contains addr, for a sector of sectorBlocks lines.
+func blockAddr(addr mem.Addr, sectorBlocks uint64, i uint) mem.Addr {
+	base := addr &^ mem.Addr(sectorBlocks*mem.LineBytes-1)
+	return base + mem.Addr(uint64(i)*mem.LineBytes)
+}

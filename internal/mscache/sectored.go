@@ -1,0 +1,549 @@
+package mscache
+
+import (
+	"dap/internal/cache"
+	"dap/internal/core"
+	"dap/internal/dram"
+	"dap/internal/mem"
+	"dap/internal/policy"
+	"dap/internal/sim"
+	"dap/internal/stats"
+)
+
+// SectoredConfig describes a die-stacked sectored DRAM cache (the paper's
+// default memory-side cache: 4 KB sectors, four ways, NRU replacement,
+// metadata stored in the DRAM array with an SRAM tag cache in front, and a
+// footprint prefetcher).
+type SectoredConfig struct {
+	CapacityBytes int
+	SectorBytes   int
+	Ways          int
+
+	// TagCacheEntries is the SRAM tag cache size (0 disables it: every
+	// access pays an in-DRAM metadata fetch, the unoptimized baseline of
+	// Figure 5). TagCacheWays and TagCacheLat follow the paper (4, 5).
+	TagCacheEntries int
+	TagCacheWays    int
+	TagCacheLat     mem.Cycle
+
+	// Replacement selects the sector replacement policy (default NRU, the
+	// paper's choice; LRU/SRRIP/Rand are available for ablation).
+	Replacement cache.ReplPolicy
+
+	// Footprint enables the footprint prefetcher.
+	Footprint bool
+	// FootprintEntries bounds the history table.
+	FootprintEntries int
+
+	// Array is the DRAM configuration of the cache stack.
+	Array dram.Config
+}
+
+// DefaultSectored returns the paper's default 4 GB / 102.4 GB/s point,
+// subject to the repository's 64x capacity scale-down (64 MB).
+func DefaultSectored() SectoredConfig {
+	return SectoredConfig{
+		CapacityBytes:    64 * mem.MiB,
+		SectorBytes:      4096,
+		Ways:             4,
+		TagCacheEntries:  512,
+		TagCacheWays:     4,
+		TagCacheLat:      5,
+		Replacement:      cache.NRU,
+		Footprint:        true,
+		FootprintEntries: 1 << 14,
+		Array:            dram.HBM102(),
+	}
+}
+
+// Sectored is the sectored DRAM cache controller.
+type Sectored struct {
+	cfg SectoredConfig
+	eng *sim.Engine
+	dev *dram.Device // the HBM stack
+	mm  *dram.Device // shared main memory
+
+	tags     *cache.Cache // authoritative sector metadata (SetSkip = blocks/sector)
+	tagCache *cache.Cache // SRAM tag cache (nil when disabled)
+	fp       *footprintTable
+
+	part core.Partitioner
+	wc   core.WindowCounts
+	st   stats.MemSideStats
+
+	sectorBlocks uint64
+
+	// Optional related-proposal policies (at most one non-nil).
+	SBD    *policy.SBD
+	BATMAN *policy.BATMAN
+	// BATMANEpoch is the set-adjustment period in cycles.
+	BATMANEpoch mem.Cycle
+}
+
+// NewSectored builds the controller. mm is the shared main-memory device;
+// part decides partitioning (core.Nop{} for the baseline).
+func NewSectored(cfg SectoredConfig, eng *sim.Engine, mm *dram.Device, part core.Partitioner) *Sectored {
+	s := &Sectored{cfg: cfg, eng: eng, mm: mm, part: part}
+	s.dev = dram.NewDevice(cfg.Array, eng)
+	s.sectorBlocks = uint64(cfg.SectorBytes / mem.LineBytes)
+	sets := cfg.CapacityBytes / cfg.SectorBytes / cfg.Ways
+	s.tags = cache.New(sets, cfg.Ways, cfg.Replacement, s.sectorBlocks)
+	if cfg.TagCacheEntries > 0 {
+		s.tagCache = cache.New(cfg.TagCacheEntries/cfg.TagCacheWays, cfg.TagCacheWays, cache.LRU, s.sectorBlocks)
+	}
+	if cfg.Footprint {
+		n := cfg.FootprintEntries
+		if n == 0 {
+			n = 1 << 14
+		}
+		s.fp = newFootprintTable(n)
+	}
+	return s
+}
+
+// Windows exposes the window counters for the partitioner.
+func (s *Sectored) Windows() *core.WindowCounts { return &s.wc }
+
+// MSStats implements Controller.
+func (s *Sectored) MSStats() *stats.MemSideStats { return &s.st }
+
+// CacheCAS implements Controller.
+func (s *Sectored) CacheCAS() uint64 { st := s.dev.Stats(); return st.CAS() }
+
+// Device exposes the cache array (tests, bandwidth kernels).
+func (s *Sectored) Device() *dram.Device { return s.dev }
+
+// ResetStats implements Controller.
+func (s *Sectored) ResetStats() {
+	s.st = stats.MemSideStats{}
+	s.dev.ResetStats()
+}
+
+// StartBATMAN arms the periodic set-disable evaluation.
+func (s *Sectored) StartBATMAN() {
+	if s.BATMAN == nil {
+		return
+	}
+	if s.BATMANEpoch == 0 {
+		s.BATMANEpoch = 50000
+	}
+	var tick func()
+	tick = func() {
+		from, to := s.BATMAN.Epoch()
+		for set := from; set < to; set++ {
+			s.disableSet(set)
+		}
+		s.eng.After(s.BATMANEpoch, tick)
+	}
+	s.eng.After(s.BATMANEpoch, tick)
+}
+
+// disableSet cleans and invalidates one cache set (BATMAN).
+func (s *Sectored) disableSet(set int) {
+	s.tags.InvalidateSet(set, func(l *cache.Line) {
+		base := s.tags.LineAddr(set, l.Tag)
+		forEachBit(l.DMask, func(i uint) {
+			s.writeoutDirtyBlock(blockAddr(base, s.sectorBlocks, i))
+		})
+		if s.fp != nil {
+			s.fp.record(uint64(base)/s.sectorBlocks/mem.LineBytes, l.VMask)
+		}
+	})
+}
+
+// writeoutDirtyBlock reads a dirty block from the cache array and writes it
+// to main memory (the read->write chain is bandwidth-accurate).
+func (s *Sectored) writeoutDirtyBlock(a mem.Addr) {
+	s.st.DirtyWriteouts++
+	s.st.VictimReads++
+	s.wc.AMSR++
+	s.wc.AMM++
+	s.dev.Access(a, mem.VictimRdKind, -1, func(mem.Cycle) {
+		s.mm.Access(a, mem.WritebackKind, -1, nil)
+	})
+}
+
+// sectorOf returns the sector index of an address.
+func (s *Sectored) sectorOf(a mem.Addr) uint64 {
+	return uint64(a) / uint64(s.cfg.SectorBytes)
+}
+
+func (s *Sectored) blockBit(a mem.Addr) uint64 {
+	return 1 << (uint64(a.Line()) % s.sectorBlocks)
+}
+
+// markMetaDirty records a metadata mutation: absorbed by a present tag-cache
+// entry, else an immediate in-DRAM metadata update.
+func (s *Sectored) markMetaDirty(a mem.Addr) {
+	if s.tagCache != nil {
+		if e := s.tagCache.Probe(a); e != nil {
+			e.Dirty = true
+			return
+		}
+	}
+	s.st.MetaWrites++
+	s.wc.AMSW++
+	s.dev.Access(a, mem.MetaWriteKind, -1, nil)
+}
+
+// tagPath performs the metadata lookup and invokes then(line) when the
+// sector's state is known. It returns true if an SFRM read was launched to
+// main memory in parallel (then must not launch a second one).
+func (s *Sectored) tagPath(a mem.Addr, coreID int, isRead bool, then func(line *cache.Line, sfrm bool)) {
+	if s.tagCache == nil {
+		// no tag cache: every access fetches metadata from the DRAM array
+		s.st.MetaReads++
+		s.wc.AMSR++
+		sfrm := isRead && s.part.TakeSFRM()
+		s.dev.Access(a, mem.MetaReadKind, coreID, func(mem.Cycle) {
+			then(s.tags.Probe(a), sfrm)
+		})
+		return
+	}
+	if e := s.tagCache.Lookup(a); e != nil {
+		s.st.TagCacheHits++
+		s.eng.After(s.cfg.TagCacheLat, func() { then(s.tags.Probe(a), false) })
+		return
+	}
+	s.st.TagCacheMisses++
+	s.st.MetaReads++
+	s.wc.AMSR++
+	sfrm := isRead && s.part.TakeSFRM()
+	s.dev.Access(a, mem.MetaReadKind, coreID, func(mem.Cycle) {
+		s.installTagEntry(a)
+		then(s.tags.Probe(a), sfrm)
+	})
+}
+
+// installTagEntry fills the SRAM tag cache; dirty victims update metadata in
+// the DRAM array.
+func (s *Sectored) installTagEntry(a mem.Addr) {
+	ev := s.tagCache.Insert(a, false)
+	if ev.Valid && ev.Dirty {
+		si, _ := s.tagCache.Index(a)
+		va := s.tagCache.LineAddr(si, ev.Tag)
+		s.st.MetaWrites++
+		s.wc.AMSW++
+		s.dev.Access(va, mem.MetaWriteKind, -1, nil)
+	}
+}
+
+// Read implements cpu.Backend: an L3 read miss (or hardware prefetch).
+func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cycle)) {
+	addr = addr.LineAligned()
+
+	// BATMAN: disabled sets go straight to main memory, no allocation.
+	// These accesses count as misses in the hit-rate feedback — that is
+	// the equilibrium the proposal's set disabling relies on.
+	if s.BATMAN != nil {
+		if set, _ := s.tags.Index(addr); s.BATMAN.Disabled(set) {
+			s.BATMAN.NoteLookup(false)
+			s.st.ReadMisses++
+			s.wc.AMM++
+			s.mm.Access(addr, kind, coreID, done)
+			return
+		}
+	}
+
+	// SBD: steer predicted hits of provably write-through pages to the
+	// less loaded source; only such pages are memory-consistent.
+	if s.SBD != nil {
+		page := addr >> 12
+		if s.SBD.Steerable(page) && s.SBD.PredictHit() {
+			line := s.tags.Probe(addr)
+			if s.steerMM() {
+				s.st.ForcedMisses++
+				if line != nil && line.VMask&s.blockBit(addr) != 0 {
+					s.st.ReadHits++
+				} else {
+					s.st.ReadMisses++
+				}
+				s.wc.AMM++
+				s.mm.Access(addr, kind, coreID, done)
+				return
+			}
+		}
+	}
+
+	s.tagPath(addr, coreID, true, func(line *cache.Line, sfrm bool) {
+		bit := s.blockBit(addr)
+		present := line != nil && line.VMask&bit != 0
+		if s.SBD != nil {
+			s.SBD.NoteReadOutcome(present)
+		}
+		if s.BATMAN != nil {
+			s.BATMAN.NoteLookup(present)
+		}
+		if present {
+			s.st.ReadHits++
+			s.wc.AMSR++         // the data read this hit demands
+			s.tags.Lookup(addr) // NRU recency
+			dirty := line.DMask&bit != 0
+			if !dirty {
+				s.wc.CleanHits++
+			}
+			switch {
+			case sfrm && dirty:
+				// speculative main-memory read was wasted; data must
+				// come from the cache array
+				s.st.SpecForced++
+				s.st.SpecWasted++
+				s.dev.Access(addr, mem.ReadKind, coreID, done)
+			case sfrm:
+				// clean hit already being served by main memory
+				s.st.SpecForced++
+				s.mm.Access(addr, mem.ReadKind, coreID, done)
+			case !dirty && s.part.TakeIFRM(coreID):
+				s.st.ForcedMisses++
+				s.mm.Access(addr, mem.ReadKind, coreID, done)
+			default:
+				s.dev.Access(addr, mem.ReadKind, coreID, done)
+			}
+			return
+		}
+		// read miss
+		s.st.ReadMisses++
+		s.wc.AMM++
+		s.wc.Rm++
+		s.mm.Access(addr, mem.ReadKind, coreID, done)
+		s.handleFill(addr, line)
+	})
+}
+
+// steerMM applies SBD's expected-latency comparison using live queue depths.
+func (s *Sectored) steerMM() bool {
+	// service ~ burst occupancy per access; base ~ unloaded latencies
+	return s.SBD.SteerToMM(s.mm.QueueLen(), s.dev.QueueLen(), 14, 10, 96, 60)
+}
+
+// handleFill performs read-miss fill handling: fill the block if the sector
+// is resident, else allocate a sector (evicting a victim) and trigger the
+// footprint fetch. Every intended fill consults FWB credits.
+func (s *Sectored) handleFill(addr mem.Addr, line *cache.Line) {
+	bit := s.blockBit(addr)
+	if line != nil {
+		// sector resident, block absent: a simple block fill
+		s.wc.AMSW++
+		if s.part.TakeFWB() {
+			s.st.FillBypasses++
+			return
+		}
+		s.st.Fills++
+		line.VMask |= bit
+		line.DMask &^= bit
+		s.dev.Access(addr, mem.FillKind, -1, nil)
+		s.markMetaDirty(addr)
+		return
+	}
+	// allocate a sector
+	ev := s.tags.Insert(addr, false)
+	if ev.Valid {
+		s.evictSector(addr, ev)
+	}
+	nl := s.tags.Probe(addr)
+	s.markMetaDirty(addr)
+
+	// demanded block fill
+	s.wc.AMSW++
+	if s.part.TakeFWB() {
+		s.st.FillBypasses++
+	} else {
+		s.st.Fills++
+		nl.VMask |= bit
+		s.dev.Access(addr, mem.FillKind, -1, nil)
+	}
+
+	// footprint fetch for the rest of the predicted footprint
+	if s.fp == nil {
+		return
+	}
+	mask := s.fp.predict(s.sectorOf(addr)) &^ bit
+	forEachBit(mask, func(i uint) {
+		ba := blockAddr(addr, s.sectorBlocks, i)
+		s.wc.AMM++
+		s.wc.Rm++
+		s.wc.AMSW++
+		if s.part.TakeFWB() {
+			s.st.FillBypasses++
+			return
+		}
+		b := s.blockBit(ba)
+		s.mm.Access(ba, mem.ReadKind, -1, func(mem.Cycle) {
+			if cur := s.tags.Probe(ba); cur != nil {
+				s.st.Fills++
+				cur.VMask |= b
+				s.dev.Access(ba, mem.FillKind, -1, nil)
+			}
+		})
+	})
+}
+
+// evictSector handles a victim sector: record its footprint and write out
+// its dirty blocks.
+func (s *Sectored) evictSector(newAddr mem.Addr, ev cache.Line) {
+	s.st.SectorEvicts++
+	si, _ := s.tags.Index(newAddr)
+	base := s.tags.LineAddr(si, ev.Tag)
+	if s.fp != nil {
+		s.fp.record(s.sectorOf(base), ev.VMask)
+	}
+	forEachBit(ev.DMask, func(i uint) {
+		s.writeoutDirtyBlock(blockAddr(base, s.sectorBlocks, i))
+	})
+	// drop any stale tag-cache copy of the victim's metadata
+	if s.tagCache != nil {
+		s.tagCache.Invalidate(base)
+	}
+}
+
+// Writeback implements cpu.Backend: a dirty L3 eviction.
+func (s *Sectored) Writeback(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	s.wc.Wm++
+
+	if s.BATMAN != nil {
+		if set, _ := s.tags.Index(addr); s.BATMAN.Disabled(set) {
+			s.mm.Access(addr, mem.WritebackKind, coreID, nil)
+			return
+		}
+	}
+
+	// SBD write handling: write-through pages write both levels; a
+	// promotion may force-clean an evicted Dirty List page.
+	if s.SBD != nil {
+		page := addr >> 12
+		evicted, mustClean := s.SBD.NoteWrite(page)
+		if mustClean {
+			s.cleanPage(evicted)
+		}
+		if !s.SBD.InDirtyList(page) {
+			s.writeThrough(addr, coreID)
+			return
+		}
+	}
+
+	s.tagPath(addr, coreID, false, func(line *cache.Line, _ bool) {
+		bit := s.blockBit(addr)
+		present := line != nil && line.VMask&bit != 0
+		s.wc.AMSW++ // the cache write this eviction demands
+		if s.part.TakeWB() {
+			s.st.WriteBypasses++
+			s.mm.Access(addr, mem.WritebackKind, coreID, nil)
+			if present {
+				// the stale cache copy must be invalidated
+				line.VMask &^= bit
+				line.DMask &^= bit
+				s.markMetaDirty(addr)
+			}
+			return
+		}
+		if present {
+			s.st.WriteHits++
+			line.DMask |= bit
+			s.tags.Lookup(addr)
+		} else {
+			s.st.WriteMisses++
+			if line == nil {
+				ev := s.tags.Insert(addr, false)
+				if ev.Valid {
+					s.evictSector(addr, ev)
+				}
+				line = s.tags.Probe(addr)
+			}
+			line.VMask |= bit
+			line.DMask |= bit
+		}
+		s.markMetaDirty(addr)
+		s.dev.Access(addr, mem.WritebackKind, coreID, nil)
+	})
+}
+
+// writeThrough writes a block to both the cache and main memory, leaving the
+// cached copy clean (SBD write-through mode). The cache side behaves like a
+// normal allocating write — write-through only adds the memory copy.
+func (s *Sectored) writeThrough(addr mem.Addr, coreID int) {
+	s.tagPath(addr, coreID, false, func(line *cache.Line, _ bool) {
+		bit := s.blockBit(addr)
+		s.wc.AMSW++
+		s.mm.Access(addr, mem.WritebackKind, coreID, nil)
+		if line != nil && line.VMask&bit != 0 {
+			s.st.WriteHits++
+		} else {
+			s.st.WriteMisses++
+			if line == nil {
+				ev := s.tags.Insert(addr, false)
+				if ev.Valid {
+					s.evictSector(addr, ev)
+				}
+				line = s.tags.Probe(addr)
+			}
+			line.VMask |= bit
+		}
+		line.DMask &^= bit // clean: main memory holds the latest copy
+		s.tags.Lookup(addr)
+		s.markMetaDirty(addr)
+		s.dev.Access(addr, mem.WritebackKind, coreID, nil)
+	})
+}
+
+// cleanPage writes out all dirty blocks of a page falling out of SBD's
+// Dirty List.
+func (s *Sectored) cleanPage(page mem.Addr) {
+	base := page << 12
+	for off := mem.Addr(0); off < 4096; off += mem.LineBytes {
+		a := base + off
+		if l := s.tags.Probe(a); l != nil {
+			bit := s.blockBit(a)
+			if l.DMask&bit != 0 {
+				l.DMask &^= bit
+				s.writeoutDirtyBlock(a)
+				s.markMetaDirty(a)
+			}
+		}
+	}
+}
+
+// WarmRead implements cpu.Backend's functional warmup path.
+func (s *Sectored) WarmRead(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	if s.tagCache != nil && s.tagCache.Lookup(addr) == nil {
+		s.installTagEntry(addr)
+	}
+	bit := s.blockBit(addr)
+	if line := s.tags.Probe(addr); line != nil {
+		s.tags.Lookup(addr)
+		if line.VMask&bit == 0 {
+			line.VMask |= bit
+		}
+		return
+	}
+	ev := s.tags.Insert(addr, false)
+	if ev.Valid {
+		si, _ := s.tags.Index(addr)
+		base := s.tags.LineAddr(si, ev.Tag)
+		if s.fp != nil {
+			s.fp.record(s.sectorOf(base), ev.VMask)
+		}
+		if s.tagCache != nil {
+			s.tagCache.Invalidate(base)
+		}
+	}
+	nl := s.tags.Probe(addr)
+	nl.VMask |= bit
+	if s.fp != nil {
+		nl.VMask |= s.fp.predict(s.sectorOf(addr))
+	}
+}
+
+// WarmWriteback implements cpu.Backend's functional warmup path.
+func (s *Sectored) WarmWriteback(addr mem.Addr, coreID int) {
+	addr = addr.LineAligned()
+	s.WarmRead(addr, coreID)
+	if line := s.tags.Probe(addr); line != nil {
+		line.DMask |= s.blockBit(addr)
+	}
+}
+
+// SetPartitioner replaces the partitioning policy (used after construction
+// once the DAP instance has been wired to this controller's counters).
+func (s *Sectored) SetPartitioner(p core.Partitioner) { s.part = p }

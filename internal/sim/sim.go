@@ -1,0 +1,97 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// whole memory-hierarchy model. Components schedule closures at absolute or
+// relative cycle times; the engine executes them in time order with a
+// deterministic tie-break so that simulations are exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+
+	"dap/internal/mem"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	when mem.Cycle
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    mem.Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// New returns an empty engine at cycle zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() mem.Cycle { return e.now }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past is
+// clamped to the current cycle (the event runs before time advances).
+func (e *Engine) At(when mem.Cycle, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay mem.Cycle, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event lies
+// beyond the limit cycle. Time stops at the last executed event (or at limit
+// if the queue drains earlier than limit with no event at/after it).
+func (e *Engine) RunUntil(limit mem.Cycle) {
+	for len(e.events) > 0 && e.events[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Drain executes all remaining events.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram: bucket i counts
+// samples in [2^i, 2^(i+1)).
+type Histogram struct {
+	Buckets [32]uint64
+	Count   uint64
+	Sum     uint64
+	MaxSeen uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	i := bits.Len64(v)
+	if i > 0 {
+		i--
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.MaxSeen {
+		h.MaxSeen = v
+	}
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (bucket upper
+// edge), p in [0,100].
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > target {
+			return 1 << uint(i+1)
+		}
+	}
+	return h.MaxSeen
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.MaxSeen > h.MaxSeen {
+		h.MaxSeen = o.MaxSeen
+	}
+}
+
+// String renders the non-empty buckets as an ASCII bar chart.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "(empty)"
+	}
+	var max uint64
+	lo, hi := -1, 0
+	for i, c := range h.Buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > max {
+				max = c
+			}
+		}
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		bar := int(h.Buckets[i] * 40 / max)
+		fmt.Fprintf(&b, "%8d- %8d %s\n", 1<<uint(i), 1<<uint(i+1)-1, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count != 6 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Mean() != (1+2+3+4+100+1000)/6.0 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.MaxSeen != 1000 {
+		t.Fatalf("max = %d", h.MaxSeen)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 = %d, want within a bucket of ~500", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < p50 {
+		t.Fatal("p99 must be >= p50")
+	}
+	if h.Percentile(0) == 0 {
+		t.Fatal("p0 of nonzero samples must be nonzero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	b.Add(500)
+	a.Merge(&b)
+	if a.Count != 2 || a.MaxSeen != 500 {
+		t.Fatalf("merge: %+v", a)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Fatal("empty histogram")
+	}
+	h.Add(10)
+	h.Add(12)
+	h.Add(300)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no bars in %q", s)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by bucket edges
+// containing MaxSeen.
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Add(uint64(v) + 1)
+		}
+		prev := uint64(0)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package workload provides the synthetic application snippets that stand in
+// for the paper's SPEC CPU 2006 / HPCG / Parboil traces, plus the streaming
+// bandwidth kernel of Figure 1 and the 27 heterogeneous mixes.
+//
+// Each snippet is a deterministic pseudo-random stream of line-granularity
+// loads and stores over a private address space. The knobs (footprint, hot
+// set, streaming/pointer-chase mix, write fraction, sector density, memory
+// intensity) are calibrated so that each named workload reproduces the
+// qualitative behaviour the paper reports for its namesake: its L3 MPKI
+// band, bandwidth sensitivity, spatial (sector) utilization and latency
+// sensitivity. Capacities follow the repository-wide 64x scale-down
+// documented in DESIGN.md.
+package workload
+
+import "dap/internal/mem"
+
+// Spec describes one application snippet.
+type Spec struct {
+	Name string
+
+	// FootprintMB is the per-core working set (64x scaled).
+	FootprintMB float64
+	// HotMB is a small hot subset that captures temporal locality.
+	HotMB float64
+
+	// Access mix: fractions of all accesses. StreamFrac accesses walk
+	// sequentially through the footprint; ChaseFrac are dependent
+	// pointer-chasing loads (serialize in the ROB); HotFrac go to the hot
+	// set; the remainder are uniform random over the footprint.
+	StreamFrac float64
+	ChaseFrac  float64
+	HotFrac    float64
+
+	// WriteFrac is the store fraction of all accesses.
+	WriteFrac float64
+
+	// MemPerKilo is distinct-line memory accesses per 1000 instructions.
+	MemPerKilo float64
+
+	// Burstiness in [0,1): probability that an access follows the previous
+	// one back-to-back, producing the bandwidth spikes DAP's windows see.
+	Burstiness float64
+
+	// SectorDensity is the fraction of 64-byte blocks actually used inside
+	// each 4 KB sector-sized region (omnetpp-style sparse access patterns
+	// give low density, which wrecks tag-cache temporal utility and
+	// footprint prefetching).
+	SectorDensity float64
+
+	// SkewAlpha shapes the power-law locality of random accesses (1 =
+	// uniform; larger concentrates reuse in a smaller hot mass).
+	SkewAlpha float64
+
+	// BandwidthSensitive records the paper's classification (Figure 4).
+	BandwidthSensitive bool
+}
+
+// Footprint returns the byte size of the per-core working set.
+func (s *Spec) Footprint() uint64 { return uint64(s.FootprintMB * mem.MiB) }
+
+// Hot returns the byte size of the hot region.
+func (s *Spec) Hot() uint64 {
+	h := uint64(s.HotMB * mem.MiB)
+	if h == 0 {
+		h = 1 * mem.MiB
+	}
+	return h
+}
+
+// The 12 bandwidth-sensitive snippets (Figure 4 top panel).
+var sensitive = []Spec{
+	{Name: "astar.BigLakes", FootprintMB: 6, HotMB: 1, ChaseFrac: 0.30, HotFrac: 0.20, WriteFrac: 0.20, MemPerKilo: 35, Burstiness: 0.35, SectorDensity: 0.30, SkewAlpha: 3.0, BandwidthSensitive: true},
+	{Name: "bzip2.combined", FootprintMB: 6, HotMB: 1, StreamFrac: 0.45, HotFrac: 0.25, WriteFrac: 0.30, MemPerKilo: 28, Burstiness: 0.45, SectorDensity: 0.85, SkewAlpha: 2.5, BandwidthSensitive: true},
+	{Name: "gcc.expr", FootprintMB: 5, HotMB: 1, StreamFrac: 0.30, HotFrac: 0.30, WriteFrac: 0.33, MemPerKilo: 24, Burstiness: 0.50, SectorDensity: 0.70, SkewAlpha: 3.0, BandwidthSensitive: true},
+	{Name: "gcc.s04", FootprintMB: 6, HotMB: 1, StreamFrac: 0.35, HotFrac: 0.25, WriteFrac: 0.36, MemPerKilo: 30, Burstiness: 0.50, SectorDensity: 0.70, SkewAlpha: 3.2, BandwidthSensitive: true},
+	{Name: "gobmk.score2", FootprintMB: 5, HotMB: 1, StreamFrac: 0.20, HotFrac: 0.35, WriteFrac: 0.28, MemPerKilo: 20, Burstiness: 0.40, SectorDensity: 0.55, SkewAlpha: 3.0, BandwidthSensitive: true},
+	{Name: "hpcg", FootprintMB: 6, HotMB: 1, StreamFrac: 0.70, HotFrac: 0.10, WriteFrac: 0.16, MemPerKilo: 40, Burstiness: 0.55, SectorDensity: 1.0, SkewAlpha: 2.0, BandwidthSensitive: true},
+	{Name: "libquantum", FootprintMB: 5, HotMB: 1, StreamFrac: 0.95, WriteFrac: 0.25, MemPerKilo: 36, Burstiness: 0.60, SectorDensity: 1.0, SkewAlpha: 1.0, BandwidthSensitive: true},
+	{Name: "mcf", FootprintMB: 7, HotMB: 1, ChaseFrac: 0.25, HotFrac: 0.15, WriteFrac: 0.18, MemPerKilo: 60, Burstiness: 0.30, SectorDensity: 0.60, SkewAlpha: 2.8, BandwidthSensitive: true},
+	{Name: "omnetpp", FootprintMB: 8, HotMB: 1, ChaseFrac: 0.10, HotFrac: 0.20, WriteFrac: 0.30, MemPerKilo: 34, Burstiness: 0.40, SectorDensity: 0.20, SkewAlpha: 2.5, BandwidthSensitive: true},
+	{Name: "parboil-lbm", FootprintMB: 10, HotMB: 1, StreamFrac: 0.90, WriteFrac: 0.45, MemPerKilo: 34, Burstiness: 0.65, SectorDensity: 1.0, SkewAlpha: 1.0, BandwidthSensitive: true},
+	{Name: "sjeng", FootprintMB: 6, HotMB: 1.5, HotFrac: 0.40, WriteFrac: 0.22, MemPerKilo: 20, Burstiness: 0.35, SectorDensity: 0.45, SkewAlpha: 3.0, BandwidthSensitive: true},
+	{Name: "soplex.ref", FootprintMB: 6, HotMB: 1, StreamFrac: 0.55, HotFrac: 0.10, WriteFrac: 0.20, MemPerKilo: 34, Burstiness: 0.50, SectorDensity: 0.80, SkewAlpha: 2.0, BandwidthSensitive: true},
+}
+
+// The 5 bandwidth-insensitive snippets (lower MPKI / latency bound).
+var insensitive = []Spec{
+	{Name: "bwaves", FootprintMB: 5, HotMB: 1, StreamFrac: 0.88, WriteFrac: 0.22, MemPerKilo: 6, Burstiness: 0.20, SectorDensity: 1.0, SkewAlpha: 1.0},
+	{Name: "cactusADM", FootprintMB: 4, HotMB: 1, StreamFrac: 0.50, HotFrac: 0.25, WriteFrac: 0.30, MemPerKilo: 5, Burstiness: 0.20, SectorDensity: 0.90, SkewAlpha: 2.0},
+	{Name: "leslie3D", FootprintMB: 4, HotMB: 1, StreamFrac: 0.80, WriteFrac: 0.25, MemPerKilo: 6, Burstiness: 0.20, SectorDensity: 1.0, SkewAlpha: 1.5},
+	{Name: "milc", FootprintMB: 4, HotMB: 1, StreamFrac: 0.60, HotFrac: 0.15, WriteFrac: 0.20, MemPerKilo: 5, Burstiness: 0.20, SectorDensity: 0.95, SkewAlpha: 2.0},
+	{Name: "parboil-histo", FootprintMB: 3, HotMB: 1.5, HotFrac: 0.60, WriteFrac: 0.40, MemPerKilo: 5, Burstiness: 0.20, SectorDensity: 0.60, SkewAlpha: 2.0},
+}
+
+// Sensitive returns the 12 bandwidth-sensitive specs in the paper's order.
+func Sensitive() []Spec { return append([]Spec(nil), sensitive...) }
+
+// Insensitive returns the 5 bandwidth-insensitive specs.
+func Insensitive() []Spec { return append([]Spec(nil), insensitive...) }
+
+// All returns all 17 snippets.
+func All() []Spec { return append(Sensitive(), Insensitive()...) }
+
+// ByName looks up a spec; ok is false for unknown names.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists all snippet names.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dap/internal/mem"
+)
+
+// Trace recording and replay. Synthetic streams stand in for the paper's
+// SPEC snippets, but users with real traces can bring them: WriteTrace
+// serializes any Stream prefix to a compact varint-delta format, and
+// TraceStream replays a recorded trace (looping when exhausted, like the
+// paper's early-finishing threads that "continue to run").
+//
+// Format: the magic header, a uint32 record count, then per access:
+//
+//	flags byte (bit0 store, bit1 dependent)
+//	uvarint gap
+//	varint line delta from the previous access (signed, zig-zag)
+
+const traceMagic = "DAPTRACE1"
+
+// WriteTrace serializes the next n accesses of s.
+func WriteTrace(w io.Writer, s Stream, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(n))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		a := s.Next()
+		var flags byte
+		if a.Store {
+			flags |= 1
+		}
+		if a.Dependent {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		k := binary.PutUvarint(buf[:], uint64(a.Gap))
+		line := int64(a.Addr.Line())
+		k += binary.PutVarint(buf[k:], line-prev)
+		prev = line
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceStream replays a recorded access trace, looping at the end.
+type TraceStream struct {
+	accs []Access
+	pos  int
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*TraceStream, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if string(head) != traceMagic {
+		return nil, errors.New("workload: not a DAP trace file")
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	const maxTrace = 1 << 28
+	if n == 0 || n > maxTrace {
+		return nil, fmt.Errorf("workload: implausible trace length %d", n)
+	}
+	ts := &TraceStream{accs: make([]Access, 0, n)}
+	prev := int64(0)
+	for i := uint32(0); i < n; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated gap at record %d: %w", i, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated address at record %d: %w", i, err)
+		}
+		prev += delta
+		if prev < 0 {
+			return nil, fmt.Errorf("workload: negative address at record %d", i)
+		}
+		ts.accs = append(ts.accs, Access{
+			Addr:      mem.Addr(prev) << mem.LineShift,
+			Store:     flags&1 != 0,
+			Dependent: flags&2 != 0,
+			Gap:       uint32(gap),
+		})
+	}
+	return ts, nil
+}
+
+// Len returns the number of recorded accesses.
+func (t *TraceStream) Len() int { return len(t.accs) }
+
+// Next implements Stream, looping at the end of the trace.
+func (t *TraceStream) Next() Access {
+	a := t.accs[t.pos]
+	t.pos++
+	if t.pos == len(t.accs) {
+		t.pos = 0
+	}
+	return a
+}
+
+// Rebase returns a copy of the trace with every address offset so the trace
+// occupies core i's private region (for replaying one trace in rate mode).
+func (t *TraceStream) Rebase(base mem.Addr) *TraceStream {
+	out := &TraceStream{accs: make([]Access, len(t.accs))}
+	copy(out.accs, t.accs)
+	for i := range out.accs {
+		out.accs[i].Addr += base
+	}
+	return out
+}
