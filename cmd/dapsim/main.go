@@ -34,6 +34,8 @@ func main() {
 		capMB   = flag.Int("capacity", 0, "memory-side cache capacity in MiB (0 = default)")
 		bwPoint = flag.Float64("cachebw", 0, "cache bandwidth in GB/s: 102.4 | 128 | 204.8 (0 = default)")
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		audit   = flag.Bool("audit", false, "enable the runtime invariant auditor (aborts on the first violation)")
+		wdog    = flag.Int("watchdog", 0, "forward-progress watchdog deadline in events (0 = default, -1 = off)")
 	)
 	flag.Parse()
 
@@ -96,6 +98,8 @@ func main() {
 	if *bwPoint > 0 {
 		fatalIf(setCacheBW(&cfg, *bwPoint))
 	}
+	cfg.Audit = *audit
+	cfg.WatchdogEvents = *wdog
 
 	var mix dap.Workload
 	if *mixName != "" {
@@ -110,17 +114,25 @@ func main() {
 			fatalf("unknown mix %q (see -list)", *mixName)
 		}
 	} else {
-		mix = dap.RateWorkload(*wl, *cores)
+		var err error
+		mix, err = dap.WorkloadByNameE(*wl, *cores)
+		fatalIf(err)
 	}
 
+	if !*asJSON {
+		fmt.Printf("running %s: arch=%s policy=%s cores=%d instr=%d\n",
+			mix.Name, *arch, *policy, *cores, cfg.MeasureInstr)
+	}
+	r, err := dap.RunE(cfg, mix)
+	if err != nil {
+		// A validation error prints one line per problem; an aborted run
+		// prints the stall/audit diagnostic with its state snapshot.
+		fatalf("%v", err)
+	}
 	if *asJSON {
-		r := dap.Run(cfg, mix)
 		reportJSON(r, mix.Name, *arch, *policy)
 		return
 	}
-	fmt.Printf("running %s: arch=%s policy=%s cores=%d instr=%d\n",
-		mix.Name, *arch, *policy, *cores, cfg.MeasureInstr)
-	r := dap.Run(cfg, mix)
 	report(r)
 }
 

@@ -21,9 +21,12 @@ package dap
 
 import (
 	"fmt"
+	"strings"
 
 	"dap/internal/core"
+	"dap/internal/faultinject"
 	"dap/internal/harness"
+	"dap/internal/sim"
 	"dap/internal/stats"
 	"dap/internal/workload"
 )
@@ -52,8 +55,23 @@ const (
 	PolicyBATMAN   = harness.BATMAN
 )
 
-// Config is a complete system configuration.
+// Config is a complete system configuration. Config.Validate reports every
+// problem at once as structured diagnostics (RunE calls it for you); the
+// hardening knobs — Audit, WatchdogEvents, Faults — live here too.
 type Config = harness.Config
+
+// FaultPlan schedules deterministic fault injection for a run: dropped DRAM
+// responses, delayed metadata fetches, corrupted DAP credit updates. Attach
+// one via Config.Faults.
+type FaultPlan = faultinject.Plan
+
+// StallError is the diagnostic the forward-progress watchdog or deadlock
+// detector attaches to Result.Abort when a run stops making progress.
+type StallError = sim.StallError
+
+// AuditError is the diagnostic the runtime invariant auditor (Config.Audit)
+// attaches to Result.Abort on the first violated invariant.
+type AuditError = harness.AuditError
 
 // DefaultConfig returns the paper's default system: eight 4-wide cores with
 // 224-entry ROBs, a 4 GB (64x scaled: 64 MB) sectored HBM DRAM cache at
@@ -67,15 +85,26 @@ func QuickConfig() Config { return harness.Quick() }
 // Workload is a named eight-way (or n-way) multi-programmed mix.
 type Workload = workload.Mix
 
-// RateWorkload returns the paper's rate-n mode for a named snippet: n copies
-// of the same application, one per core. Valid names are listed by
-// WorkloadNames.
-func RateWorkload(name string, cores int) Workload {
+// WorkloadByNameE returns the paper's rate-n mode for a named snippet: n
+// copies of the same application, one per core. An unknown name yields an
+// error listing every valid one.
+func WorkloadByNameE(name string, cores int) (Workload, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("dap: unknown workload %q (see dap.WorkloadNames)", name))
+		return Workload{}, fmt.Errorf("dap: unknown workload %q (valid names: %s)",
+			name, strings.Join(workload.Names(), ", "))
 	}
-	return workload.RateMix(spec, cores)
+	return workload.RateMix(spec, cores), nil
+}
+
+// RateWorkload is WorkloadByNameE for callers that prefer a panic on an
+// unknown name (e.g. package-level test fixtures).
+func RateWorkload(name string, cores int) Workload {
+	w, err := WorkloadByNameE(name, cores)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
 }
 
 // WorkloadNames lists the 17 synthetic application snippets.
@@ -104,18 +133,40 @@ func Workloads(cores int) []Workload { return workload.AllMixes(cores) }
 // Result is the outcome of one simulation.
 type Result = harness.Result
 
-// Run simulates a workload on a configuration: functional warmup followed by
-// the timed region.
-func Run(cfg Config, w Workload) Result { return harness.RunMix(cfg, w) }
+// RunE simulates a workload on a configuration: the configuration is
+// validated (every problem reported at once), then functional warmup and the
+// timed region run. A run that ends abnormally — watchdog, deadlock or audit
+// violation — returns the partial Result together with its Abort error.
+func RunE(cfg Config, w Workload) (Result, error) { return harness.RunMixE(cfg, w) }
 
-// AloneIPC measures the single-core IPC of a named snippet on cfg, the
+// Run is RunE for callers that prefer a panic over error plumbing; the panic
+// message carries the same structured diagnostics.
+func Run(cfg Config, w Workload) Result {
+	r, err := RunE(cfg, w)
+	if err != nil {
+		panic("dap: " + err.Error())
+	}
+	return r
+}
+
+// AloneIPCE measures the single-core IPC of a named snippet on cfg, the
 // denominator of the paper's weighted-speedup metric.
-func AloneIPC(cfg Config, name string) float64 {
+func AloneIPCE(cfg Config, name string) (float64, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("dap: unknown workload %q", name))
+		return 0, fmt.Errorf("dap: unknown workload %q (valid names: %s)",
+			name, strings.Join(workload.Names(), ", "))
 	}
-	return harness.AloneIPC(cfg, spec)
+	return harness.AloneIPC(cfg, spec), nil
+}
+
+// AloneIPC is AloneIPCE with a panic on an unknown name.
+func AloneIPC(cfg Config, name string) float64 {
+	v, err := AloneIPCE(cfg, name)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
 }
 
 // Figure identifies a reproducible experiment.

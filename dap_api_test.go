@@ -2,6 +2,7 @@ package dap_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"dap"
@@ -24,6 +25,39 @@ func TestPublicAPIUnknownWorkloadPanics(t *testing.T) {
 	}()
 	dap.RateWorkload("not-a-benchmark", 8)
 }
+
+func TestPublicAPIUnknownWorkloadError(t *testing.T) {
+	_, err := dap.WorkloadByNameE("not-a-benchmark", 8)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "mcf") {
+		t.Fatalf("error does not list the valid names: %v", err)
+	}
+	if _, err := dap.AloneIPCE(dap.QuickConfig(), "not-a-benchmark"); err == nil {
+		t.Fatal("AloneIPCE accepted an unknown workload")
+	}
+	if w, err := dap.WorkloadByNameE("mcf", 4); err != nil || len(w.Specs) != 4 {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+}
+
+func TestPublicAPIRunEValidates(t *testing.T) {
+	cfg := dap.QuickConfig()
+	cfg.Arch = dap.MainMemoryOnly
+	cfg.Policy = dap.PolicyDAP // partitioning with nothing to partition
+	mix, _ := dap.WorkloadByNameE("mcf", cfg.CPU.Cores)
+	if _, err := dap.RunE(cfg, mix); err == nil {
+		t.Fatal("RunE accepted DAP on a cacheless system")
+	}
+}
+
+// The hardening types are part of the facade.
+var (
+	_ *dap.StallError
+	_ *dap.AuditError
+	_ dap.FaultPlan
+)
 
 func TestPublicAPIWorkloadCatalog(t *testing.T) {
 	if n := len(dap.WorkloadNames()); n != 17 {

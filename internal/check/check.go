@@ -1,0 +1,101 @@
+// Package check provides the typed configuration diagnostics used by every
+// Validate() pass in the simulator. A validation walks a configuration,
+// collects one ConfigError per defective field, and returns them all at once
+// so that a bad parameter sweep point reports every problem in a single
+// round trip instead of failing one panic at a time.
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfigError describes one invalid configuration field.
+type ConfigError struct {
+	Field  string // dotted path, e.g. "mainmem.Channels"
+	Value  any    // the offending value
+	Reason string // why it is invalid
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Errors is a non-empty list of configuration errors.
+type Errors []*ConfigError
+
+func (es Errors) Error() string {
+	if len(es) == 1 {
+		return "invalid config: " + es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invalid config (%d problems):", len(es))
+	for _, e := range es {
+		b.WriteString("\n  - ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Collector accumulates ConfigErrors during a Validate() walk. The zero
+// value is ready to use.
+type Collector struct {
+	errs Errors
+}
+
+// Addf records one invalid field. The reason may use Printf verbs.
+func (c *Collector) Addf(field string, value any, reason string, args ...any) {
+	if len(args) > 0 {
+		reason = fmt.Sprintf(reason, args...)
+	}
+	c.errs = append(c.errs, &ConfigError{Field: field, Value: value, Reason: reason})
+}
+
+// Sub merges a nested Validate() result, prefixing its field paths.
+// Non-ConfigError errors are wrapped as a single entry under the prefix.
+func (c *Collector) Sub(prefix string, err error) {
+	switch e := err.(type) {
+	case nil:
+	case Errors:
+		for _, ce := range e {
+			c.errs = append(c.errs, &ConfigError{
+				Field: prefix + "." + ce.Field, Value: ce.Value, Reason: ce.Reason,
+			})
+		}
+	case *ConfigError:
+		c.errs = append(c.errs, &ConfigError{
+			Field: prefix + "." + e.Field, Value: e.Value, Reason: e.Reason,
+		})
+	default:
+		c.errs = append(c.errs, &ConfigError{Field: prefix, Value: "", Reason: err.Error()})
+	}
+}
+
+// Err returns the collected errors, or nil when the configuration is valid.
+func (c *Collector) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs
+}
+
+// Positive records an error unless v > 0.
+func (c *Collector) Positive(field string, v int) {
+	if v <= 0 {
+		c.Addf(field, v, "must be positive")
+	}
+}
+
+// NonNegative records an error unless v >= 0.
+func (c *Collector) NonNegative(field string, v int) {
+	if v < 0 {
+		c.Addf(field, v, "must not be negative")
+	}
+}
+
+// PowerOfTwo records an error unless v is a positive power of two.
+func (c *Collector) PowerOfTwo(field string, v int) {
+	if v <= 0 || v&(v-1) != 0 {
+		c.Addf(field, v, "must be a positive power of two")
+	}
+}

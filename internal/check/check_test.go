@@ -1,0 +1,87 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCollectorEmpty(t *testing.T) {
+	var c Collector
+	if err := c.Err(); err != nil {
+		t.Fatalf("empty collector returned %v", err)
+	}
+}
+
+func TestCollectorAddf(t *testing.T) {
+	var c Collector
+	c.Addf("Channels", 0, "must be positive")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 {
+		t.Fatalf("expected one ConfigError, got %v", err)
+	}
+	if es[0].Field != "Channels" || es[0].Value != 0 {
+		t.Fatalf("bad error: %+v", es[0])
+	}
+	if !strings.Contains(err.Error(), "Channels = 0: must be positive") {
+		t.Fatalf("unhelpful message: %q", err.Error())
+	}
+}
+
+func TestCollectorSubPrefixes(t *testing.T) {
+	var inner Collector
+	inner.Positive("Banks", -1)
+	inner.PowerOfTwo("RowBytes", 3)
+
+	var outer Collector
+	outer.Sub("mainmem", inner.Err())
+	err := outer.Err()
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 2 {
+		t.Fatalf("expected two errors, got %v", err)
+	}
+	if es[0].Field != "mainmem.Banks" || es[1].Field != "mainmem.RowBytes" {
+		t.Fatalf("prefixes not applied: %v", err)
+	}
+	if !strings.Contains(err.Error(), "2 problems") {
+		t.Fatalf("multi-error header missing: %q", err.Error())
+	}
+}
+
+func TestCollectorSubNil(t *testing.T) {
+	var c Collector
+	c.Sub("cpu", nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil sub-error produced %v", err)
+	}
+}
+
+func TestCollectorSubForeignError(t *testing.T) {
+	var c Collector
+	c.Sub("dap", errors.New("boom"))
+	var es Errors
+	if err := c.Err(); !errors.As(err, &es) || es[0].Field != "dap" || es[0].Reason != "boom" {
+		t.Fatalf("foreign error not wrapped: %v", c.Err())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	var c Collector
+	c.Positive("a", 1)
+	c.NonNegative("b", 0)
+	c.PowerOfTwo("c", 64)
+	if err := c.Err(); err != nil {
+		t.Fatalf("valid values flagged: %v", err)
+	}
+	c.Positive("a", 0)
+	c.NonNegative("b", -2)
+	c.PowerOfTwo("c", 48)
+	var es Errors
+	if err := c.Err(); !errors.As(err, &es) || len(es) != 3 {
+		t.Fatalf("expected three errors, got %v", c.Err())
+	}
+}

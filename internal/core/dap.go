@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"dap/internal/check"
 	"dap/internal/mem"
 	"dap/internal/sim"
 	"dap/internal/stats"
@@ -129,6 +132,38 @@ type Config struct {
 	LatencySensitive []bool
 }
 
+// Validate checks the DAP parameters. Zero values that NewDAP defaults
+// (Window, Efficiency, MaxKDen, CreditCap, SFRMReserve) are accepted;
+// everything else must be in range. All problems are reported at once.
+func (c *Config) Validate() error {
+	var errs check.Collector
+	if c.Arch > EDRAMArch {
+		errs.Addf("Arch", c.Arch, "unknown DAP architecture")
+	}
+	if !(c.BMSGBps > 0) {
+		errs.Addf("BMSGBps", c.BMSGBps, "memory-side cache bandwidth must be positive")
+	}
+	if !(c.BMMGBps > 0) {
+		errs.Addf("BMMGBps", c.BMMGBps, "main-memory bandwidth must be positive")
+	}
+	if c.Efficiency < 0 || c.Efficiency > 1 {
+		errs.Addf("Efficiency", c.Efficiency, "must lie in (0, 1] (0 selects the default)")
+	}
+	if c.MaxKDen < 0 {
+		errs.Addf("MaxKDen", c.MaxKDen, "must not be negative")
+	}
+	if c.CreditCap < 0 {
+		errs.Addf("CreditCap", c.CreditCap, "must not be negative")
+	}
+	if c.SFRMReserve < 0 || c.SFRMReserve > 1 {
+		errs.Addf("SFRMReserve", c.SFRMReserve, "must lie in (0, 1] (0 selects the default)")
+	}
+	if c.ThreadAware && len(c.LatencySensitive) == 0 {
+		errs.Addf("LatencySensitive", c.LatencySensitive, "thread-aware IFRM needs per-core sensitivity flags")
+	}
+	return errs.Err()
+}
+
 // DefaultConfig returns the paper's default DAP parameters for the given
 // architecture and bandwidth point.
 func DefaultConfig(arch Arch, bmsGBps, bmmGBps float64) Config {
@@ -212,6 +247,51 @@ func NewDAP(cfg Config, eng *sim.Engine, wc *WindowCounts) *DAP {
 
 // Stop halts the window timer (end of a simulation).
 func (d *DAP) Stop() { d.stopped = true }
+
+// Credits returns the raw credit counters (fwb and sfrm in units of Den,
+// wb and ifrm in units of Num+Den, wt in units of one) for diagnostics and
+// the runtime invariant auditor.
+func (d *DAP) Credits() (fwb, wb, ifrm, sfrm, wt int64) {
+	return d.fwb, d.wb, d.ifrm, d.sfrm, d.wt
+}
+
+// AuditCredits verifies the credit-counter invariants the hardware's
+// saturating arithmetic guarantees: no counter may be negative or exceed
+// its saturation bound. A corrupted credit update violates one of these.
+func (d *DAP) AuditCredits() error {
+	den, unit := d.k.Den, d.k.Num+d.k.Den
+	bounds := []struct {
+		name string
+		v    int64
+		cap  int64
+	}{
+		{"fwb", d.fwb, d.cfg.CreditCap * den},
+		{"wb", d.wb, d.cfg.CreditCap * unit / den},
+		{"ifrm", d.ifrm, d.cfg.CreditCap * unit / den},
+		{"sfrm", d.sfrm, d.cfg.CreditCap},
+		{"wt", d.wt, d.cfg.CreditCap},
+	}
+	for _, b := range bounds {
+		if b.v < 0 {
+			return fmt.Errorf("dap credit %s = %d: negative", b.name, b.v)
+		}
+		if b.v > b.cap {
+			return fmt.Errorf("dap credit %s = %d: exceeds saturation bound %d", b.name, b.v, b.cap)
+		}
+	}
+	return nil
+}
+
+// InjectCreditFault adds delta to every credit counter, bypassing the
+// saturating clamp. It exists solely for fault injection: tests use it to
+// verify the invariant auditor detects corrupted credit state.
+func (d *DAP) InjectCreditFault(delta int64) {
+	d.fwb += delta
+	d.wb += delta
+	d.ifrm += delta
+	d.sfrm += delta
+	d.wt += delta
+}
 
 // K returns the rational bandwidth ratio in use.
 func (d *DAP) K() Ratio { return d.k }

@@ -13,7 +13,10 @@
 // depends on: how much bandwidth demand a core can expose.
 package cpu
 
-import "dap/internal/mem"
+import (
+	"dap/internal/check"
+	"dap/internal/mem"
+)
 
 // Config collects the core and SRAM-hierarchy parameters.
 type Config struct {
@@ -32,6 +35,32 @@ type Config struct {
 	// prefetch fills per core (the prefetch request buffer). Degree 0
 	// disables it.
 	PFStreams, PFDegree, PFDistance, PFOutstanding int
+}
+
+// Validate checks the core and cache-geometry parameters, reporting every
+// problem at once as check.Errors.
+func (c *Config) Validate() error {
+	var errs check.Collector
+	errs.Positive("Cores", c.Cores)
+	errs.Positive("ROB", c.ROB)
+	errs.Positive("Width", c.Width)
+	level := func(name string, bytes, ways int) {
+		if ways <= 0 {
+			errs.Addf(name+"Ways", ways, "must be positive")
+			return
+		}
+		if bytes < mem.LineBytes*ways {
+			errs.Addf(name+"Bytes", bytes, "smaller than one %d B line per way", mem.LineBytes)
+		}
+	}
+	level("L1", c.L1Bytes, c.L1Ways)
+	level("L2", c.L2Bytes, c.L2Ways)
+	level("L3", c.L3Bytes, c.L3Ways)
+	errs.NonNegative("PFStreams", c.PFStreams)
+	errs.NonNegative("PFDegree", c.PFDegree)
+	errs.NonNegative("PFDistance", c.PFDistance)
+	errs.NonNegative("PFOutstanding", c.PFOutstanding)
+	return errs.Err()
 }
 
 // Default returns the paper's eight-core Skylake-like configuration.

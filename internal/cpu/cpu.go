@@ -1,6 +1,9 @@
 package cpu
 
 import (
+	"fmt"
+	"strings"
+
 	"dap/internal/cache"
 	"dap/internal/mem"
 	"dap/internal/sim"
@@ -86,6 +89,63 @@ func (c *CPU) Start(target uint64) {
 
 // Done reports whether every core reached its target.
 func (c *CPU) Done() bool { return c.remaining == 0 }
+
+// ProgressFingerprint returns a value that changes whenever the slowest
+// unfinished core fetches an instruction — the forward-progress signal the
+// engine watchdog samples. Tracking the minimum over unfinished cores (not
+// the total) catches a single wedged core even while its neighbours keep
+// retiring. Returns ^0 once every core has finished.
+func (c *CPU) ProgressFingerprint() uint64 {
+	min := ^uint64(0)
+	for _, co := range c.cores {
+		if !co.finished && co.fetched < min {
+			min = co.fetched
+		}
+	}
+	return min
+}
+
+// Snapshot formats per-core progress and queue state for stall diagnostics:
+// fetched/target instructions, in-flight loads, outstanding MSHR fills and
+// prefetches, and whether issue is blocked on a dependent load.
+func (c *CPU) Snapshot() string {
+	var b strings.Builder
+	for _, co := range c.cores {
+		fmt.Fprintf(&b, "  core %2d: fetched %d/%d, inflight %d, mshr %d, pfOut %d",
+			co.id, co.fetched, co.target, len(co.inflight), len(co.mshr), co.pfOut)
+		if co.waitDep {
+			b.WriteString(", blocked on dependent load")
+		}
+		if co.finished {
+			b.WriteString(", finished")
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// AuditInvariants checks the structural invariants of the core model: the
+// in-flight load window never exceeds the ROB, fetch never passes the
+// pending access, and the prefetch buffer accounting stays in bounds. It
+// returns a description of the first violation, or nil.
+func (c *CPU) AuditInvariants() error {
+	pfMax := c.cfg.PFOutstanding
+	if pfMax <= 0 {
+		pfMax = 32
+	}
+	for _, co := range c.cores {
+		if len(co.inflight) > c.cfg.ROB+1 {
+			return fmt.Errorf("core %d: %d in-flight loads exceed the %d-entry ROB", co.id, len(co.inflight), c.cfg.ROB)
+		}
+		if co.fetched > co.pendPos+1 {
+			return fmt.Errorf("core %d: fetched %d passed the pending access at %d", co.id, co.fetched, co.pendPos)
+		}
+		if co.pfOut < 0 || co.pfOut > pfMax {
+			return fmt.Errorf("core %d: outstanding prefetches %d out of [0, %d]", co.id, co.pfOut, pfMax)
+		}
+	}
+	return nil
+}
 
 // CoreStats returns a copy of the per-core statistics.
 func (c *CPU) CoreStats() []stats.CoreStats {

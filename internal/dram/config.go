@@ -14,6 +14,7 @@ package dram
 import (
 	"fmt"
 
+	"dap/internal/check"
 	"dap/internal/mem"
 )
 
@@ -62,6 +63,45 @@ type Config struct {
 	// ReadOnly / WriteOnly mark eDRAM-style dedicated channels.
 	ReadOnly  bool
 	WriteOnly bool
+}
+
+// Validate checks the configuration fields that the derived-timing
+// arithmetic divides by or shifts with: zero channels, banks, burst length
+// or row size would otherwise surface as divide-by-zero panics (address
+// routing divides by RowBytes/LineBytes and the channel count) or nonsense
+// latencies (cpuCycles and PeakGBps divide by FreqMHz and BurstCycles).
+// All problems are reported at once as check.Errors.
+func (c *Config) Validate() error {
+	var errs check.Collector
+	errs.Positive("Channels", c.Channels)
+	errs.Positive("Banks", c.Banks)
+	if c.RowBytes < mem.LineBytes || c.RowBytes%mem.LineBytes != 0 {
+		errs.Addf("RowBytes", c.RowBytes, "must be a positive multiple of the %d B line", mem.LineBytes)
+	}
+	if !(c.FreqMHz > 0) {
+		errs.Addf("FreqMHz", c.FreqMHz, "must be positive (derived timings divide by it)")
+	}
+	errs.Positive("BurstCycles", c.BurstCycles)
+	errs.NonNegative("TCAS", c.TCAS)
+	errs.NonNegative("TRCD", c.TRCD)
+	errs.NonNegative("TRP", c.TRP)
+	errs.NonNegative("TRAS", c.TRAS)
+	errs.NonNegative("IOCycles", c.IOCycles)
+	errs.NonNegative("TurnaroundCycles", c.TurnaroundCycles)
+	errs.NonNegative("WriteLow", c.WriteLow)
+	if c.WriteHigh < c.WriteLow {
+		errs.Addf("WriteHigh", c.WriteHigh, "must be >= WriteLow (%d)", c.WriteLow)
+	}
+	if (c.RefreshInterval > 0) != (c.RefreshCycles > 0) {
+		errs.Addf("RefreshInterval", c.RefreshInterval,
+			"RefreshInterval and RefreshCycles must be set together (got tRFC %d)", c.RefreshCycles)
+	}
+	errs.NonNegative("RefreshInterval", c.RefreshInterval)
+	errs.NonNegative("RefreshCycles", c.RefreshCycles)
+	if c.ReadOnly && c.WriteOnly {
+		errs.Addf("ReadOnly", true, "a channel set cannot be both read-only and write-only")
+	}
+	return errs.Err()
 }
 
 // EnableRefresh sets JEDEC-typical refresh timing for the configuration

@@ -5,6 +5,18 @@ import (
 	"dap/internal/sim"
 )
 
+// FaultAction is a fault-injection verdict for one request: drop its
+// response (the access still occupies bandwidth, but the data never
+// arrives) and/or delay its completion by ExtraDelay cycles.
+type FaultAction struct {
+	DropResponse bool
+	ExtraDelay   mem.Cycle
+}
+
+// FaultHook inspects every enqueued request and returns the fault (if any)
+// to inject. The zero FaultAction leaves the request untouched.
+type FaultHook func(*mem.Request) FaultAction
+
 // Device is a multi-channel DRAM bandwidth source. Lines are interleaved
 // across channels at 64 B granularity; banks are selected from higher
 // address bits XOR-folded with the row index to spread conflicts.
@@ -17,13 +29,31 @@ type Device struct {
 
 	// Kinds counts accesses by kind for bandwidth attribution.
 	Kinds [8]uint64
+
+	// Fault, when non-nil, is consulted on every enqueue (fault injection).
+	Fault FaultHook
 }
 
-// NewDevice builds a device from a configuration.
-func NewDevice(cfg Config, eng *sim.Engine) *Device {
+// NewDeviceE builds a device from a configuration, rejecting one whose
+// derived timings would divide by zero or route addresses nonsensically.
+func NewDeviceE(cfg Config, eng *sim.Engine) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	d := &Device{Cfg: cfg, eng: eng, rowLines: uint64(cfg.RowBytes / mem.LineBytes)}
 	for i := 0; i < cfg.Channels; i++ {
 		d.channels = append(d.channels, newChannel(&d.Cfg, eng))
+	}
+	return d, nil
+}
+
+// NewDevice builds a device from a configuration; it panics on an invalid
+// one (use NewDeviceE, or validate the enclosing system configuration, to
+// get structured errors instead).
+func NewDevice(cfg Config, eng *sim.Engine) *Device {
+	d, err := NewDeviceE(cfg, eng)
+	if err != nil {
+		panic("dram: " + err.Error())
 	}
 	return d
 }
@@ -43,9 +73,31 @@ func (d *Device) route(a mem.Addr) (ch, bk int, row int64) {
 // Enqueue submits a request to the device. The request's Done callback (if
 // any) fires when data is transferred.
 func (d *Device) Enqueue(r *mem.Request) {
+	if d.Fault != nil {
+		if act := d.Fault(r); act.DropResponse || act.ExtraDelay > 0 {
+			r = d.injectFault(r, act)
+		}
+	}
 	d.Kinds[r.Kind]++
 	ch, bk, row := d.route(r.Addr)
 	d.channels[ch].enqueue(r, bk, row)
+}
+
+// injectFault rewrites a request according to a fault verdict: a dropped
+// response loses its Done callback (the transfer still happens, so the
+// bandwidth is spent, but the waiter never wakes); a delay defers Done.
+func (d *Device) injectFault(r *mem.Request, act FaultAction) *mem.Request {
+	faulted := *r
+	switch {
+	case act.DropResponse:
+		faulted.Done = nil
+	case faulted.Done != nil:
+		orig, extra := faulted.Done, act.ExtraDelay
+		faulted.Done = func(t mem.Cycle) {
+			d.eng.After(extra, func() { orig(t + extra) })
+		}
+	}
+	return &faulted
 }
 
 // Access is a convenience wrapper building a Request.

@@ -7,10 +7,12 @@ package harness
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"dap/internal/core"
 	"dap/internal/cpu"
 	"dap/internal/dram"
+	"dap/internal/faultinject"
 	"dap/internal/mem"
 	"dap/internal/mscache"
 	"dap/internal/policy"
@@ -86,7 +88,30 @@ type Config struct {
 	MeasureInstr uint64
 	// MaxCycles aborts a runaway simulation (0 = a large default).
 	MaxCycles mem.Cycle
+
+	// Audit enables the runtime invariant auditor: every AuditEvery cycles
+	// the run checks DAP credit bounds, request conservation, delivered
+	// bandwidth against source peaks, and sector-cache mask consistency,
+	// aborting with an AuditError on the first violation.
+	Audit bool
+	// AuditEvery is the audit window in cycles (0 = 4096).
+	AuditEvery mem.Cycle
+	// WatchdogEvents arms the forward-progress watchdog: the run aborts with
+	// a sim.StallError once roughly this many consecutive events execute
+	// without the slowest unfinished core retiring an instruction. 0 uses
+	// DefaultWatchdogEvents; negative disables the watchdog.
+	WatchdogEvents int
+	// Faults, when non-nil, arms deterministic fault injection over the run
+	// (dropped DRAM responses, delayed metadata fetches, corrupted DAP
+	// credits) — the adversarial half of the hardening layer's test story.
+	Faults *faultinject.Plan
 }
+
+// DefaultWatchdogEvents is the watchdog deadline when Config.WatchdogEvents
+// is zero. At typical event densities (a handful of events per busy cycle)
+// it corresponds to roughly a million cycles with a core making no forward
+// progress — far past any legitimate queueing delay.
+const DefaultWatchdogEvents = 4_000_000
 
 // Default returns the paper's default system: eight cores, a 4 GB (scaled
 // 64 MB) sectored HBM DRAM cache at 102.4 GB/s with tag cache and footprint
@@ -122,6 +147,11 @@ type Result struct {
 	stats.Run
 	Config Config
 	Mix    workload.Mix
+	// Abort is non-nil when the run ended abnormally: a *sim.StallError from
+	// the forward-progress watchdog or deadlock detector, or an *AuditError
+	// from the runtime invariant auditor. Figures built from an aborted run
+	// would be fiction, so drivers must check it (RunMixE does).
+	Abort error
 }
 
 // dapConfigFor derives the DAP parameters for the configured architecture.
@@ -171,6 +201,10 @@ type System struct {
 
 	dap      *core.DAP
 	sectored *mscache.Sectored
+	alloy    *mscache.Alloy
+	edram    *mscache.EDRAM
+	inj      *faultinject.Injector
+	counts   *reqCounter
 }
 
 // Build assembles a system for the given mix.
@@ -192,6 +226,7 @@ func Build(cfg Config, mix workload.Mix) *System {
 			ac.BEAR = true // DAP builds on the BEAR presence bit (Section IV-B)
 		}
 		al := mscache.NewAlloy(ac, s.Eng, s.MM, s.Part)
+		s.alloy = al
 		if cfg.Policy == DAP || cfg.Policy == DAPFWBWB {
 			dc := dapWithPolicy(cfg, mix)
 			dc.Backlog = func() (int64, int64, int64) {
@@ -204,6 +239,7 @@ func Build(cfg Config, mix workload.Mix) *System {
 		s.Ctrl = al
 	case SectoredEDRAM:
 		ed := mscache.NewEDRAM(cfg.EDRAM, s.Eng, s.MM, s.Part)
+		s.edram = ed
 		if cfg.Policy == DAP || cfg.Policy == DAPFWBWB {
 			dc := dapWithPolicy(cfg, mix)
 			dc.Backlog = func() (int64, int64, int64) {
@@ -238,9 +274,49 @@ func Build(cfg Config, mix workload.Mix) *System {
 		s.Ctrl = sc
 	}
 
-	s.CPU = cpu.New(cfg.CPU, s.Eng, s.Ctrl)
+	if cfg.Faults != nil {
+		s.inj = faultinject.New(*cfg.Faults)
+		hook := s.inj.DeviceHook()
+		s.MM.Fault = hook
+		for _, d := range s.devices()[1:] { // cache-side devices
+			d.Fault = hook
+		}
+	}
+	backend := s.Ctrl
+	if cfg.Audit {
+		// count requests through the controller boundary so the auditor can
+		// check conservation (issued == completed + in-flight) and catch
+		// double completions; a pure pass-through, so audited and unaudited
+		// runs stay bit-identical.
+		s.counts = &reqCounter{inner: s.Ctrl, eng: s.Eng}
+		backend = s.counts
+	}
+	s.CPU = cpu.New(cfg.CPU, s.Eng, backend)
 	s.CPU.SetStreams(mix.Streams())
 	return s
+}
+
+// devices lists every bandwidth source in the system, main memory first.
+func (s *System) devices() []*dram.Device {
+	devs := []*dram.Device{s.MM}
+	switch {
+	case s.sectored != nil:
+		devs = append(devs, s.sectored.Device())
+	case s.alloy != nil:
+		devs = append(devs, s.alloy.Device())
+	case s.edram != nil:
+		devs = append(devs, s.edram.ReadDevice(), s.edram.WriteDevice())
+	}
+	return devs
+}
+
+// BuildE validates the configuration and assembles a system, returning
+// structured diagnostics (check.Errors) instead of panicking downstream.
+func BuildE(cfg Config, mix workload.Mix) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return Build(cfg, mix), nil
 }
 
 func dapWithPolicy(cfg Config, mix workload.Mix) core.Config {
@@ -279,6 +355,18 @@ func (s *System) Run() Result {
 
 	start := s.Eng.Now()
 	s.CPU.Start(cfg.MeasureInstr)
+	if wd := cfg.WatchdogEvents; wd >= 0 {
+		if wd == 0 {
+			wd = DefaultWatchdogEvents
+		}
+		s.Eng.SetWatchdog(wd, s.CPU.ProgressFingerprint, s.snapshot)
+	}
+	if cfg.Audit {
+		s.startAudit()
+	}
+	if s.inj != nil && s.dap != nil {
+		s.inj.ArmCreditFault(s.Eng.After, s.dap)
+	}
 	limit := cfg.MaxCycles
 	if limit == 0 {
 		limit = mem.Cycle(400 * cfg.MeasureInstr) // far beyond any plausible CPI
@@ -292,6 +380,14 @@ func (s *System) Run() Result {
 
 	var r Result
 	r.Config = cfg
+	r.Abort = s.Eng.Err()
+	if r.Abort == nil && !s.CPU.Done() && s.Eng.Pending() == 0 {
+		// The event queue drained with instructions still unretired: a true
+		// deadlock (e.g. every response to a wedged MSHR was dropped). The
+		// watchdog never fires here — no events execute — so detect it
+		// directly.
+		r.Abort = &sim.StallError{Cycle: s.Eng.Now(), Pending: 0, Snapshot: s.snapshot()}
+	}
 	r.Cycles = s.Eng.Now() - start
 	r.Cores = s.CPU.CoreStats()
 	r.MemSide = *s.Ctrl.MSStats()
@@ -303,9 +399,51 @@ func (s *System) Run() Result {
 	return r
 }
 
+// snapshot captures the simulation state for a stall or audit diagnostic:
+// engine position, per-core progress and queue state, per-device queue
+// occupancies, and (when present) DAP credits and injected-fault counts.
+func (s *System) snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d, %d pending events\n", s.Eng.Now(), s.Eng.Pending())
+	if s.counts != nil {
+		fmt.Fprintf(&b, "memory requests: %d issued, %d completed, %d in flight\n",
+			s.counts.Issued, s.counts.Completed, s.counts.InFlight())
+	}
+	b.WriteString(s.CPU.Snapshot())
+	b.WriteByte('\n')
+	for i, d := range s.devices() {
+		name := d.Cfg.Name
+		if i == 0 {
+			name = "main memory (" + name + ")"
+		}
+		fmt.Fprintf(&b, "  %s: %d queued\n", name, d.QueueLen())
+	}
+	if s.dap != nil {
+		fwb, wb, ifrm, sfrm, wt := s.dap.Credits()
+		fmt.Fprintf(&b, "  dap credits: fwb %d, wb %d, ifrm %d, sfrm %d, wt %d\n",
+			fwb, wb, ifrm, sfrm, wt)
+	}
+	if s.inj != nil {
+		fmt.Fprintf(&b, "  %s\n", s.inj)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
 // RunMix builds and runs in one step.
 func RunMix(cfg Config, mix workload.Mix) Result {
 	return Build(cfg, mix).Run()
+}
+
+// RunMixE is the hardened RunMix: it validates the configuration before
+// building, and surfaces an abnormal end of run (watchdog, deadlock or
+// audit violation) as an error alongside the partial result.
+func RunMixE(cfg Config, mix workload.Mix) (Result, error) {
+	s, err := BuildE(cfg, mix)
+	if err != nil {
+		return Result{}, err
+	}
+	r := s.Run()
+	return r, r.Abort
 }
 
 // RunSeeded runs the mix with a run-level stream seed (seed 0 equals RunMix).

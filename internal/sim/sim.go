@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 
 	"dap/internal/mem"
 )
@@ -30,11 +31,48 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// StallError reports a forward-progress failure: the watchdog observed no
+// progress for too many executed events, or the queue drained while the
+// simulated system still had work outstanding (a deadlock).
+type StallError struct {
+	Cycle    mem.Cycle // simulated time of detection
+	Events   uint64    // events executed without observable progress
+	Pending  int       // events still queued at detection time
+	Snapshot string    // component-state dump captured at detection time
+}
+
+func (e *StallError) Error() string {
+	kind := "stalled"
+	if e.Pending == 0 {
+		kind = "deadlocked"
+	}
+	msg := fmt.Sprintf("sim: %s at cycle %d (%d events without progress, %d pending)",
+		kind, e.Cycle, e.Events, e.Pending)
+	if e.Snapshot != "" {
+		msg += "\n" + e.Snapshot
+	}
+	return msg
+}
+
+// watchdog is the engine's stall detector. Every batch executed events it
+// samples the progress fingerprint; limit consecutive stale samples with no
+// simulated-time advance between them trip a StallError.
+type watchdog struct {
+	batch, limit int
+	count, stale int
+	lastProg     uint64
+	progress     func() uint64
+	snapshot     func() string
+}
+
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
 	now    mem.Cycle
 	seq    uint64
 	events eventHeap
+
+	wd  *watchdog
+	err error
 }
 
 // New returns an empty engine at cycle zero.
@@ -61,25 +99,91 @@ func (e *Engine) After(delay mem.Cycle, fn func()) {
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Step executes the next event. It reports false when no events remain.
+// watchdogChecks is how many stale samples in a row trip the watchdog; the
+// sample interval is staleEvents / watchdogChecks executed events.
+const watchdogChecks = 8
+
+// SetWatchdog arms the forward-progress watchdog: if the progress
+// fingerprint returned by progress does not change across roughly
+// staleEvents consecutively executed events, the engine stops and Err
+// returns a *StallError. progress defaults to simulated time when nil;
+// snapshot, when non-nil, supplies a component-state dump captured at the
+// moment the stall is detected. staleEvents <= 0 disarms the watchdog.
+//
+// The per-event cost when armed is one counter increment; the fingerprint
+// is only sampled every staleEvents/8 events.
+func (e *Engine) SetWatchdog(staleEvents int, progress func() uint64, snapshot func() string) {
+	if staleEvents <= 0 {
+		e.wd = nil
+		return
+	}
+	batch := staleEvents / watchdogChecks
+	if batch < 1 {
+		batch = 1
+	}
+	if progress == nil {
+		progress = func() uint64 { return uint64(e.now) }
+	}
+	e.wd = &watchdog{
+		batch: batch, limit: watchdogChecks,
+		progress: progress, snapshot: snapshot, lastProg: progress(),
+	}
+}
+
+// Fail stops the engine with err: no further events execute, and Err
+// reports the failure. The first failure wins; later ones are dropped.
+func (e *Engine) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the failure that stopped the engine (a *StallError from the
+// watchdog, or whatever was passed to Fail), or nil while healthy.
+func (e *Engine) Err() error { return e.err }
+
+// Step executes the next event. It reports false when no events remain or
+// the engine has failed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.err != nil || len(e.events) == 0 {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.when
 	ev.fn()
+	if w := e.wd; w != nil {
+		w.count++
+		if w.count >= w.batch {
+			w.count = 0
+			if p := w.progress(); p != w.lastProg {
+				w.lastProg = p
+				w.stale = 0
+			} else if w.stale++; w.stale >= w.limit {
+				snap := ""
+				if w.snapshot != nil {
+					snap = w.snapshot()
+				}
+				e.Fail(&StallError{
+					Cycle:    e.now,
+					Events:   uint64(w.batch) * uint64(w.stale),
+					Pending:  len(e.events),
+					Snapshot: snap,
+				})
+			}
+		}
+	}
 	return true
 }
 
-// RunUntil executes events until the queue is empty or the next event lies
-// beyond the limit cycle. Time stops at the last executed event (or at limit
-// if the queue drains earlier than limit with no event at/after it).
+// RunUntil executes events until the queue is empty, the engine fails, or
+// the next event lies beyond the limit cycle. Time stops at the last
+// executed event (or at limit if the queue drains earlier than limit with
+// no event at/after it); a failed engine does not advance time.
 func (e *Engine) RunUntil(limit mem.Cycle) {
-	for len(e.events) > 0 && e.events[0].when <= limit {
+	for e.err == nil && len(e.events) > 0 && e.events[0].when <= limit {
 		e.Step()
 	}
-	if e.now < limit {
+	if e.err == nil && e.now < limit {
 		e.now = limit
 	}
 }

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dap/internal/mem"
+)
+
+// TestWatchdogTripsOnStall: a self-perpetuating timer with a frozen progress
+// counter must trip the watchdog with a diagnostic snapshot.
+func TestWatchdogTripsOnStall(t *testing.T) {
+	e := New()
+	progress := uint64(0)
+	e.SetWatchdog(64, func() uint64 { return progress }, func() string { return "queues: wedged" })
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(1, tick)
+	steps := 0
+	for e.Step() {
+		steps++
+		if steps > 10_000 {
+			t.Fatal("watchdog never tripped")
+		}
+	}
+	var se *StallError
+	if !errors.As(e.Err(), &se) {
+		t.Fatalf("expected *StallError, got %v", e.Err())
+	}
+	if se.Cycle == 0 || se.Events == 0 {
+		t.Fatalf("empty stall context: %+v", se)
+	}
+	if !strings.Contains(se.Error(), "queues: wedged") {
+		t.Fatalf("snapshot missing from message: %q", se.Error())
+	}
+	if e.Step() {
+		t.Fatal("failed engine must not execute further events")
+	}
+}
+
+// TestWatchdogProgressSuppresses: advancing progress must keep the watchdog
+// quiet indefinitely.
+func TestWatchdogProgressSuppresses(t *testing.T) {
+	e := New()
+	progress := uint64(0)
+	e.SetWatchdog(64, func() uint64 { return progress }, nil)
+	var tick func()
+	tick = func() {
+		progress++ // every event makes progress
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	for i := 0; i < 5000 && e.Step(); i++ {
+	}
+	if e.Err() != nil {
+		t.Fatalf("watchdog tripped despite progress: %v", e.Err())
+	}
+}
+
+// TestWatchdogTimeFingerprintDefault: with a nil progress function the
+// watchdog falls back to simulated time, so zero-delay self-rescheduling
+// (time frozen) trips while advancing time does not.
+func TestWatchdogTimeFingerprintDefault(t *testing.T) {
+	e := New()
+	e.SetWatchdog(64, nil, nil)
+	var spin func()
+	spin = func() { e.After(0, spin) } // same-cycle spin
+	e.At(1, spin)
+	for i := 0; i < 10_000 && e.Step(); i++ {
+	}
+	var se *StallError
+	if !errors.As(e.Err(), &se) {
+		t.Fatalf("same-cycle spin not detected: %v", e.Err())
+	}
+}
+
+// TestWatchdogDisarm: staleEvents <= 0 disarms a previously armed watchdog.
+func TestWatchdogDisarm(t *testing.T) {
+	e := New()
+	e.SetWatchdog(8, func() uint64 { return 0 }, nil)
+	e.SetWatchdog(0, nil, nil)
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(1, tick)
+	for i := 0; i < 1000; i++ {
+		e.Step()
+	}
+	if e.Err() != nil {
+		t.Fatalf("disarmed watchdog tripped: %v", e.Err())
+	}
+}
+
+// TestFailStopsEngine: Fail freezes the engine; RunUntil must not advance
+// time past the failure, and the first failure wins.
+func TestFailStopsEngine(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(10, func() { e.Fail(fmt.Errorf("auditor: invariant violated")) })
+	e.At(20, func() { ran = true })
+	e.RunUntil(1000)
+	if ran {
+		t.Fatal("event after failure executed")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("failed engine advanced time to %d", e.Now())
+	}
+	e.Fail(fmt.Errorf("second"))
+	if e.Err().Error() != "auditor: invariant violated" {
+		t.Fatalf("first failure did not win: %v", e.Err())
+	}
+}
+
+// TestStallErrorDeadlockMessage: Pending == 0 renders as a deadlock.
+func TestStallErrorDeadlockMessage(t *testing.T) {
+	se := &StallError{Cycle: 42, Events: 7, Pending: 0}
+	if !strings.Contains(se.Error(), "deadlocked") {
+		t.Fatalf("deadlock not named: %q", se.Error())
+	}
+	se.Pending = 3
+	if !strings.Contains(se.Error(), "stalled") {
+		t.Fatalf("stall not named: %q", se.Error())
+	}
+}
+
+// BenchmarkStep measures the per-event dispatch cost with the watchdog
+// disarmed (the default for every existing caller).
+func BenchmarkStep(b *testing.B) {
+	benchmarkStep(b, false)
+}
+
+// BenchmarkStepWatchdog measures the same loop with the watchdog armed; the
+// difference is the hardening overhead paid by guarded runs.
+func BenchmarkStepWatchdog(b *testing.B) {
+	benchmarkStep(b, true)
+}
+
+func benchmarkStep(b *testing.B, watchdog bool) {
+	e := New()
+	n := uint64(0)
+	if watchdog {
+		e.SetWatchdog(1<<20, func() uint64 { return n }, nil)
+	}
+	var tick func()
+	tick = func() {
+		n++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if e.Err() != nil {
+		b.Fatalf("unexpected failure: %v", e.Err())
+	}
+	_ = mem.Cycle(0)
+}
