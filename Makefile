@@ -1,10 +1,12 @@
 # Tier-1 verification gate: everything must vet, build, and pass the test
-# suite with the race detector on.
+# suite with the race detector on. The observability package gets an extra
+# explicit vet + race pass so its strict-observer guarantees are always
+# exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench obs-check trace-demo
 
-check: vet build race
+check: vet build race obs-check
 
 vet:
 	$(GO) vet ./...
@@ -18,5 +20,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+obs-check:
+	$(GO) vet ./internal/obs/...
+	$(GO) test -race ./internal/obs/... -run . -count=1
+	$(GO) test -race ./internal/harness/ -run 'TestObservability|TestObsConfig' -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# trace-demo produces a small end-to-end observability artifact set: a
+# Perfetto-loadable Chrome trace of L3-miss lifecycles and a per-window
+# metrics CSV (DAP credits, per-source bandwidth, hit ratios, per-core IPC).
+trace-demo:
+	mkdir -p out
+	$(GO) run ./cmd/dapsim -quick -workload mcf -policy dap \
+		-trace out/trace.json -metrics-every 1000 -metrics-out out/metrics.csv
+	@echo "open out/trace.json in https://ui.perfetto.dev, plot out/metrics.csv"

@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dap"
+	"dap/internal/mem"
 	"dap/internal/stats"
 )
 
@@ -36,6 +39,14 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		audit   = flag.Bool("audit", false, "enable the runtime invariant auditor (aborts on the first violation)")
 		wdog    = flag.Int("watchdog", 0, "forward-progress watchdog deadline in events (0 = default, -1 = off)")
+		seed    = flag.Uint64("seed", 0, "workload address-stream seed (0 = default streams)")
+
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON of L3-miss lifecycles to this file (load in Perfetto)")
+		traceSample  = flag.Int("trace-sample", 0, "trace every Nth L3 miss (0 = tracer default of 1)")
+		metricsEvery = flag.Uint64("metrics-every", 0, "sample windowed metrics every N cycles (0 = off)")
+		metricsOut   = flag.String("metrics-out", "", "write the sampled metric series as CSV to this file (default stdout when sampling)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -100,6 +111,9 @@ func main() {
 	}
 	cfg.Audit = *audit
 	cfg.WatchdogEvents = *wdog
+	cfg.Trace = *tracePath != ""
+	cfg.TraceSample = *traceSample
+	cfg.MetricsEvery = mem.Cycle(*metricsEvery)
 
 	var mix dap.Workload
 	if *mixName != "" {
@@ -119,21 +133,80 @@ func main() {
 		fatalIf(err)
 	}
 
+	// One-line effective configuration so a pasted log is self-describing.
+	header := fmt.Sprintf(
+		"dapsim %s: arch=%s policy=%s cores=%d instr=%d warm=%d seed=%d dap-window=%d trace=%v metrics-every=%d",
+		mix.Name, *arch, *policy, *cores, cfg.MeasureInstr, cfg.WarmAccesses,
+		*seed, dap.EffectiveDAPWindow(cfg), cfg.Trace, cfg.MetricsEvery)
 	if !*asJSON {
-		fmt.Printf("running %s: arch=%s policy=%s cores=%d instr=%d\n",
-			mix.Name, *arch, *policy, *cores, cfg.MeasureInstr)
+		fmt.Println(header)
 	}
-	r, err := dap.RunE(cfg, mix)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	r, err := dap.RunSeededE(cfg, mix, *seed)
 	if err != nil {
 		// A validation error prints one line per problem; an aborted run
 		// prints the stall/audit diagnostic with its state snapshot.
 		fatalf("%v", err)
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		fatalIf(err)
+		runtime.GC()
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+	}
+	writeArtifacts(r, *tracePath, *metricsOut, *asJSON)
+
 	if *asJSON {
-		reportJSON(r, mix.Name, *arch, *policy)
+		reportJSON(r, mix.Name, *arch, *policy, header)
 		return
 	}
 	report(r)
+	if r.Breakdown != nil && r.Breakdown.Spans() > 0 {
+		fmt.Print(r.Breakdown.String())
+	}
+}
+
+// writeArtifacts persists the observability outputs: the Chrome trace JSON
+// and the sampled metric series (CSV to a file, or to stdout in text mode
+// when no -metrics-out was given).
+func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool) {
+	if tracePath != "" && r.Trace != nil {
+		f, err := os.Create(tracePath)
+		fatalIf(err)
+		fatalIf(r.Trace.WriteChromeTrace(f))
+		fatalIf(f.Close())
+		if !asJSON {
+			fmt.Printf("trace: %d spans -> %s (dropped %d)\n",
+				len(r.Trace.Spans()), tracePath, r.Trace.Dropped())
+		}
+	}
+	if r.Metrics == nil {
+		return
+	}
+	switch {
+	case metricsOut != "":
+		f, err := os.Create(metricsOut)
+		fatalIf(err)
+		fatalIf(r.Metrics.WriteCSV(f))
+		fatalIf(f.Close())
+		if !asJSON {
+			fmt.Printf("metrics: %d windows -> %s (dropped %d)\n",
+				r.Metrics.Samples(), metricsOut, r.Metrics.Dropped())
+		}
+	case !asJSON:
+		fmt.Println("metrics (CSV):")
+		fatalIf(r.Metrics.WriteCSV(os.Stdout))
+	}
 }
 
 // jsonReport is the machine-readable result schema.
@@ -141,6 +214,7 @@ type jsonReport struct {
 	Mix        string    `json:"mix"`
 	Arch       string    `json:"arch"`
 	Policy     string    `json:"policy"`
+	Config     string    `json:"config"`
 	Cycles     uint64    `json:"cycles"`
 	CoreIPC    []float64 `json:"core_ipc"`
 	CoreMPKI   []float64 `json:"core_mpki"`
@@ -155,9 +229,9 @@ type jsonReport struct {
 	} `json:"dap_decisions"`
 }
 
-func reportJSON(r dap.Result, mixName, arch, policy string) {
+func reportJSON(r dap.Result, mixName, arch, policy, header string) {
 	out := jsonReport{
-		Mix: mixName, Arch: arch, Policy: policy,
+		Mix: mixName, Arch: arch, Policy: policy, Config: header,
 		Cycles:     uint64(r.Cycles),
 		HitRatio:   r.MemSide.HitRatio(),
 		TagMiss:    r.MemSide.TagCacheMissRatio(),

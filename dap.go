@@ -26,6 +26,7 @@ import (
 	"dap/internal/core"
 	"dap/internal/faultinject"
 	"dap/internal/harness"
+	"dap/internal/obs"
 	"dap/internal/sim"
 	"dap/internal/stats"
 	"dap/internal/workload"
@@ -133,6 +134,30 @@ func Workloads(cores int) []Workload { return workload.AllMixes(cores) }
 // Result is the outcome of one simulation.
 type Result = harness.Result
 
+// MetricsSampler is the windowed time-series sampler found on
+// Result.Metrics when Config.MetricsEvery is set; export its series with
+// WriteCSV or WriteJSONL.
+type MetricsSampler = obs.Sampler
+
+// LifecycleTracer is the request-lifecycle tracer found on Result.Trace
+// when Config.Trace is set; export its spans with WriteChromeTrace (loads
+// in Perfetto / chrome://tracing).
+type LifecycleTracer = obs.Tracer
+
+// LatencyBreakdown aggregates traced L3-miss phase latencies by serving
+// source and DAP technique (Result.Breakdown).
+type LatencyBreakdown = stats.LatencyBreakdown
+
+// EffectiveDAPWindow returns the DAP observation window (in cycles) the
+// configured policy will use: the override's window when one is set, else
+// the paper's 64-cycle default.
+func EffectiveDAPWindow(cfg Config) uint64 {
+	if cfg.DAPOverride != nil && cfg.DAPOverride.Window != 0 {
+		return uint64(cfg.DAPOverride.Window)
+	}
+	return 64
+}
+
 // RunE simulates a workload on a configuration: the configuration is
 // validated (every problem reported at once), then functional warmup and the
 // timed region run. A run that ends abnormally — watchdog, deadlock or audit
@@ -147,6 +172,12 @@ func Run(cfg Config, w Workload) Result {
 		panic("dap: " + err.Error())
 	}
 	return r
+}
+
+// RunSeededE is RunE with a run-level workload stream seed (0 behaves like
+// RunE) — replicated measurements under different address streams.
+func RunSeededE(cfg Config, w Workload, seed uint64) (Result, error) {
+	return harness.RunSeededE(cfg, w, seed)
 }
 
 // AloneIPCE measures the single-core IPC of a named snippet on cfg, the
@@ -193,6 +224,10 @@ var (
 	Fig13 = harness.Fig13 // 16-core scaling
 	Fig14 = harness.Fig14 // Alloy cache: BEAR vs DAP
 	Fig15 = harness.Fig15 // eDRAM cache: DAP at two capacities
+
+	// FigBreakdown is an observability-layer driver (not a paper figure):
+	// traced L3-miss phase latencies by serving source.
+	FigBreakdown = harness.FigBreakdown
 )
 
 // DeliveredBandwidth evaluates the paper's Equation 2 and OptimalFractions

@@ -1,0 +1,23 @@
+package core
+
+import "dap/internal/obs"
+
+// RegisterMetrics registers the DAP's time-series probes on a sampler:
+// per-technique credit levels (`dap.credit.*`, raw hardware units — fwb and
+// sfrm in units of Den, wb and ifrm in units of Num+Den), per-window
+// technique activations (`dap.dec.*`), and partitioned-window counts. All
+// probes are read-only; sampling them never perturbs the partitioner.
+func (d *DAP) RegisterMetrics(s *obs.Sampler) {
+	s.Gauge("dap.credit.fwb", func() float64 { return float64(d.fwb) })
+	s.Gauge("dap.credit.wb", func() float64 { return float64(d.wb) })
+	s.Gauge("dap.credit.ifrm", func() float64 { return float64(d.ifrm) })
+	s.Gauge("dap.credit.sfrm", func() float64 { return float64(d.sfrm) })
+	s.Gauge("dap.credit.wt", func() float64 { return float64(d.wt) })
+
+	s.Counter("dap.dec.fwb", func() uint64 { return d.dec.FWB })
+	s.Counter("dap.dec.wb", func() uint64 { return d.dec.WB })
+	s.Counter("dap.dec.ifrm", func() uint64 { return d.dec.IFRM })
+	s.Counter("dap.dec.sfrm", func() uint64 { return d.dec.SFRM })
+	s.Counter("dap.windows", func() uint64 { return d.Windows })
+	s.Counter("dap.partitioned", func() uint64 { return d.Partitioned })
+}

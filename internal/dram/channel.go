@@ -247,6 +247,10 @@ func (ch *channel) issue(e *queued, now mem.Cycle) {
 	ch.busFree = dataStart + burst
 	ch.stats.BusyCycles += burst
 
+	if e.req.OnIssue != nil {
+		e.req.OnIssue(dataStart - e.enqueued)
+	}
+
 	done := dataStart + burst + ch.io
 	if isWrite {
 		ch.stats.Writes++

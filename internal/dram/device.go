@@ -105,6 +105,31 @@ func (d *Device) Access(a mem.Addr, k mem.Kind, core int, done func(mem.Cycle)) 
 	d.Enqueue(&mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), Done: done})
 }
 
+// AccessTraced is Access with an observability issue hook attached: onIssue
+// (if non-nil) receives the request's in-queue wait when its data burst is
+// scheduled. Timing is identical to Access.
+func (d *Device) AccessTraced(a mem.Addr, k mem.Kind, core int, onIssue func(mem.Cycle), done func(mem.Cycle)) {
+	d.Enqueue(&mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), OnIssue: onIssue, Done: done})
+}
+
+// NumChannels returns the number of channels.
+func (d *Device) NumChannels() int { return len(d.channels) }
+
+// ChannelQueueLen returns the pending requests queued on one channel.
+func (d *Device) ChannelQueueLen(i int) int { return d.channels[i].queueLen() }
+
+// ChannelBusyCycles returns one channel's cumulative data-bus occupancy.
+func (d *Device) ChannelBusyCycles(i int) mem.Cycle { return d.channels[i].stats.BusyCycles }
+
+// TotalCAS returns the cumulative column accesses across channels.
+func (d *Device) TotalCAS() uint64 {
+	var n uint64
+	for _, ch := range d.channels {
+		n += ch.stats.Reads + ch.stats.Writes
+	}
+	return n
+}
+
 // QueueLen returns the total queued requests across channels.
 func (d *Device) QueueLen() int {
 	n := 0

@@ -1,0 +1,23 @@
+package dram
+
+import (
+	"fmt"
+
+	"dap/internal/mem"
+	"dap/internal/obs"
+)
+
+// RegisterMetrics registers this device's time-series probes on a sampler
+// under the given name prefix: delivered bandwidth (`<prefix>.gbps`), and
+// per-channel data-bus utilization (`<prefix>.c<i>.util`) and queue depth
+// (`<prefix>.c<i>.q`). All probes are read-only.
+func (d *Device) RegisterMetrics(s *obs.Sampler, prefix string) {
+	s.UtilScaled(prefix+".gbps", mem.LineBytes*mem.CPUFreqGHz, d.TotalCAS)
+	for i := range d.channels {
+		ch := d.channels[i]
+		s.Util(fmt.Sprintf("%s.c%d.util", prefix, i), func() uint64 {
+			return uint64(ch.stats.BusyCycles)
+		})
+		s.GaugeInt(fmt.Sprintf("%s.c%d.q", prefix, i), ch.queueLen)
+	}
+}

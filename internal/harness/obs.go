@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"dap/internal/obs"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// registerMetrics wires every observable subsystem into the sampler. All
+// probes are read-only; registration order fixes the CSV column order.
+func (s *System) registerMetrics() {
+	m := s.Metrics
+	if s.dap != nil {
+		s.dap.RegisterMetrics(m)
+	}
+	s.MM.RegisterMetrics(m, "mm")
+	switch {
+	case s.sectored != nil:
+		s.sectored.Device().RegisterMetrics(m, "ms")
+	case s.alloy != nil:
+		s.alloy.Device().RegisterMetrics(m, "ms")
+	case s.edram != nil:
+		s.edram.ReadDevice().RegisterMetrics(m, "ms.rd")
+		s.edram.WriteDevice().RegisterMetrics(m, "ms.wr")
+	}
+	st := s.Ctrl.MSStats()
+	m.Gauge("ms.hit_ratio", obs.WindowedRatio(
+		func() uint64 { return st.ReadHits + st.WriteHits },
+		func() uint64 { return st.ReadHits + st.ReadMisses + st.WriteHits + st.WriteMisses },
+	))
+	m.Gauge("ms.tagmiss_ratio", obs.WindowedRatio(
+		func() uint64 { return st.TagCacheMisses },
+		func() uint64 { return st.TagCacheHits + st.TagCacheMisses },
+	))
+	s.CPU.RegisterMetrics(m)
+}
+
+// FigBreakdown is an observability-layer driver (not a paper figure): it
+// runs DAP with full tracing on the bandwidth-sensitive mixes and tabulates
+// the mean phase latencies of L3 misses by serving source — where cycles go
+// when a miss is served by the cache array versus main memory.
+func FigBreakdown(o Options) Figure {
+	cfg := o.base()
+	cfg.Policy = DAP
+	cfg.Trace = true
+
+	mixes := sensitiveMixes(cfg.CPU.Cores)
+	if o.Quick && len(mixes) > 4 {
+		mixes = mixes[:4]
+	}
+	names := mixNames(mixes)
+	mk := func(label string) Series { return Series{Label: label, Names: names, SummaryKind: "MEAN"} }
+	series := []Series{
+		mk("q-ms$"), mk("meta-ms$"), mk("serve-ms$"),
+		mk("q-mm"), mk("meta-mm"), mk("serve-mm"),
+	}
+	for _, m := range mixes {
+		r := RunMix(cfg, m)
+		for si, src := range []int{stats.BDSrcCache, stats.BDSrcMain} {
+			p := r.Breakdown.BySource(src)
+			series[si*3+0].Values = append(series[si*3+0].Values, p.Queue.Mean())
+			series[si*3+1].Values = append(series[si*3+1].Values, p.Meta.Mean())
+			series[si*3+2].Values = append(series[si*3+2].Values, p.Service.Mean())
+		}
+	}
+	for i := range series {
+		series[i].Summary = stats.Mean(series[i].Values)
+	}
+	return Figure{
+		ID:     "Obs. 1",
+		Title:  "L3-miss latency breakdown by serving source (cycles)",
+		Notes:  "q = serving-device queue wait, meta = tag/metadata probe, serve = data service remainder",
+		Series: series,
+	}
+}
+
+// traceableMix returns a small mix suitable for trace demos and tests.
+func traceableMix(cores int) workload.Mix {
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		spec = workload.Sensitive()[0]
+	}
+	return workload.RateMix(spec, cores)
+}

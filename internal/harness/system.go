@@ -15,6 +15,7 @@ import (
 	"dap/internal/faultinject"
 	"dap/internal/mem"
 	"dap/internal/mscache"
+	"dap/internal/obs"
 	"dap/internal/policy"
 	"dap/internal/sim"
 	"dap/internal/stats"
@@ -105,6 +106,25 @@ type Config struct {
 	// (dropped DRAM responses, delayed metadata fetches, corrupted DAP
 	// credits) — the adversarial half of the hardening layer's test story.
 	Faults *faultinject.Plan
+
+	// MetricsEvery enables the windowed metrics sampler: every MetricsEvery
+	// cycles the run samples DAP credits, technique activations, per-channel
+	// bandwidth and queue depth, MS$ hit and tag-cache miss ratios, and
+	// per-core IPC into Result.Metrics. 0 disables sampling. Like the
+	// auditor, the sampler is read-only and leaves stats.Run bit-identical.
+	MetricsEvery mem.Cycle
+	// MetricsCap bounds the sampler's ring buffer in rows (0 = 4096; old
+	// windows are evicted first).
+	MetricsCap int
+	// Trace enables the request-lifecycle tracer: sampled L3 misses are
+	// stamped through queue → tag/metadata probe → DAP decision → service →
+	// response and collected in Result.Trace (Chrome trace JSON export)
+	// and Result.Breakdown (phase-latency histograms).
+	Trace bool
+	// TraceSample traces every N-th L3 read miss (≤ 1 traces all).
+	TraceSample int
+	// TraceCap bounds the span buffer (0 = 65536; later spans are dropped).
+	TraceCap int
 }
 
 // DefaultWatchdogEvents is the watchdog deadline when Config.WatchdogEvents
@@ -152,6 +172,17 @@ type Result struct {
 	// from the runtime invariant auditor. Figures built from an aborted run
 	// would be fiction, so drivers must check it (RunMixE does).
 	Abort error
+
+	// Metrics holds the windowed time series (nil unless Config.MetricsEvery
+	// > 0). Export with WriteCSV/WriteJSONL.
+	Metrics *obs.Sampler
+	// Trace holds the sampled request-lifecycle spans (nil unless
+	// Config.Trace). Export with WriteChromeTrace.
+	Trace *obs.Tracer
+	// Breakdown aggregates traced L3-miss phase latencies by serving source
+	// and DAP technique (nil unless Config.Trace). It lives here rather
+	// than inside stats.Run so instrumented runs keep a bit-identical Run.
+	Breakdown *stats.LatencyBreakdown
 }
 
 // dapConfigFor derives the DAP parameters for the configured architecture.
@@ -175,11 +206,14 @@ func dapConfigFor(cfg *Config) core.Config {
 type mmOnly struct {
 	mm *dram.Device
 	st stats.MemSideStats
+	tr *obs.Tracer
 }
 
 func (m *mmOnly) Read(a mem.Addr, c int, k mem.Kind, done func(mem.Cycle)) {
 	m.st.ReadMisses++
-	m.mm.Access(a, k, c, done)
+	sp := m.tr.Read(c, a, k)
+	sp.Serve(stats.BDSrcMain)
+	m.mm.AccessTraced(a, k, c, obs.OnIssue(sp), sp.Wrap(done))
 }
 func (m *mmOnly) Writeback(a mem.Addr, c int) {
 	m.mm.Access(a, mem.WritebackKind, c, nil)
@@ -189,6 +223,7 @@ func (m *mmOnly) WarmWriteback(mem.Addr, int)  {}
 func (m *mmOnly) MSStats() *stats.MemSideStats { return &m.st }
 func (m *mmOnly) CacheCAS() uint64             { return 0 }
 func (m *mmOnly) ResetStats()                  { m.st = stats.MemSideStats{} }
+func (m *mmOnly) SetTracer(t *obs.Tracer)      { m.tr = t }
 
 // System is an assembled simulation ready to run.
 type System struct {
@@ -198,6 +233,11 @@ type System struct {
 	Ctrl mscache.Controller
 	CPU  *cpu.CPU
 	Part core.Partitioner
+
+	// Metrics and Trace are the observability instruments (nil when the
+	// corresponding Config knob is off); Run hands them to the Result.
+	Metrics *obs.Sampler
+	Trace   *obs.Tracer
 
 	dap      *core.DAP
 	sectored *mscache.Sectored
@@ -293,7 +333,25 @@ func Build(cfg Config, mix workload.Mix) *System {
 	}
 	s.CPU = cpu.New(cfg.CPU, s.Eng, backend)
 	s.CPU.SetStreams(mix.Streams())
+
+	if cfg.Trace {
+		s.Trace = obs.NewTracer(s.Eng.Clock(), cfg.TraceSample, cfg.TraceCap)
+		s.setTracer(s.Trace)
+	}
+	if cfg.MetricsEvery > 0 {
+		s.Metrics = obs.NewSampler(s.Eng.Clock(), s.Eng.After, s.Eng.Pending,
+			cfg.MetricsEvery, cfg.MetricsCap)
+		s.registerMetrics()
+	}
 	return s
+}
+
+// setTracer attaches the lifecycle tracer to whichever controller backs the
+// system (all controllers and mmOnly implement the optional interface).
+func (s *System) setTracer(t *obs.Tracer) {
+	if c, ok := s.Ctrl.(interface{ SetTracer(*obs.Tracer) }); ok {
+		c.SetTracer(t)
+	}
 }
 
 // devices lists every bandwidth source in the system, main memory first.
@@ -355,6 +413,9 @@ func (s *System) Run() Result {
 
 	start := s.Eng.Now()
 	s.CPU.Start(cfg.MeasureInstr)
+	if s.Metrics != nil {
+		s.Metrics.Start()
+	}
 	if wd := cfg.WatchdogEvents; wd >= 0 {
 		if wd == 0 {
 			wd = DefaultWatchdogEvents
@@ -377,9 +438,15 @@ func (s *System) Run() Result {
 	if s.dap != nil {
 		s.dap.Stop()
 	}
+	if s.Metrics != nil {
+		s.Metrics.Stop()
+	}
 
 	var r Result
 	r.Config = cfg
+	r.Metrics = s.Metrics
+	r.Trace = s.Trace
+	r.Breakdown = s.Trace.Breakdown()
 	r.Abort = s.Eng.Err()
 	if r.Abort == nil && !s.CPU.Done() && s.Eng.Pending() == 0 {
 		// The event queue drained with instructions still unretired: a true
@@ -449,13 +516,30 @@ func RunMixE(cfg Config, mix workload.Mix) (Result, error) {
 // RunSeeded runs the mix with a run-level stream seed (seed 0 equals RunMix).
 func RunSeeded(cfg Config, mix workload.Mix, seed uint64) Result {
 	s := Build(cfg, mix)
-	if seed != 0 {
-		if len(mix.Specs) != cfg.CPU.Cores {
-			mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, cfg.CPU.Cores)}
-		}
-		s.CPU.SetStreams(mix.StreamsSeeded(seed))
-	}
+	s.reseed(mix, seed)
 	return s.Run()
+}
+
+// RunSeededE is RunSeeded with configuration validation and abnormal-end
+// reporting (the seeded counterpart of RunMixE).
+func RunSeededE(cfg Config, mix workload.Mix, seed uint64) (Result, error) {
+	s, err := BuildE(cfg, mix)
+	if err != nil {
+		return Result{}, err
+	}
+	s.reseed(mix, seed)
+	r := s.Run()
+	return r, r.Abort
+}
+
+func (s *System) reseed(mix workload.Mix, seed uint64) {
+	if seed == 0 {
+		return
+	}
+	if len(mix.Specs) != s.Cfg.CPU.Cores {
+		mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, s.Cfg.CPU.Cores)}
+	}
+	s.CPU.SetStreams(mix.StreamsSeeded(seed))
 }
 
 // Replicate runs the mix over n seeds and returns the per-seed values of

@@ -63,5 +63,15 @@ func (c *Config) Validate() error {
 	if c.Faults != nil {
 		errs.Sub("Faults", c.Faults.Validate())
 	}
+
+	errs.NonNegative("MetricsCap", c.MetricsCap)
+	errs.NonNegative("TraceSample", c.TraceSample)
+	errs.NonNegative("TraceCap", c.TraceCap)
+	if c.MetricsCap > 0 && c.MetricsEvery == 0 {
+		errs.Addf("MetricsCap", c.MetricsCap, "set without MetricsEvery: the sampler would never run")
+	}
+	if (c.TraceSample > 0 || c.TraceCap > 0) && !c.Trace {
+		errs.Addf("TraceSample", c.TraceSample, "trace knobs set without Trace: the tracer would never run")
+	}
 	return errs.Err()
 }

@@ -5,6 +5,7 @@ import (
 	"dap/internal/core"
 	"dap/internal/dram"
 	"dap/internal/mem"
+	"dap/internal/obs"
 	"dap/internal/sim"
 	"dap/internal/stats"
 )
@@ -124,6 +125,7 @@ type Alloy struct {
 	part core.Partitioner
 	wc   core.WindowCounts
 	st   stats.MemSideStats
+	tr   *obs.Tracer
 
 	// hit/miss predictor: 2-bit counters hashed by 4 KB region and core.
 	pred []uint8
@@ -228,6 +230,8 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	if done == nil {
 		done = func(mem.Cycle) {}
 	}
+	sp := a.tr.Read(coreID, addr, kind)
+	done = sp.Wrap(done)
 	_, group, bit := a.setOf(addr)
 
 	dbcClean := false
@@ -249,7 +253,9 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 			a.wc.Rm++
 		}
 		a.eng.After(a.cfg.DBCLat, func() {
-			a.mm.Access(addr, mem.ReadKind, coreID, done)
+			sp.Decide(stats.BDTechIFRM)
+			sp.Serve(stats.BDSrcMain)
+			a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 		})
 		return
 	}
@@ -269,7 +275,9 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 			a.wc.Rm++
 		}
 		a.wc.AMM++
-		a.mm.Access(addr, mem.ReadKind, coreID, func(t mem.Cycle) {
+		sp.Decide(stats.BDTechNone)
+		sp.Serve(stats.BDSrcMain)
+		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(t mem.Cycle) {
 			if !hit {
 				a.fill(addr, coreID, false, false)
 			}
@@ -292,7 +300,10 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 		done(t)
 	}
 	if launchParallel {
-		a.mm.Access(addr, mem.ReadKind, coreID, func(t mem.Cycle) {
+		// Speculative serve mark: on a TAD hit the span is re-marked with
+		// the true source below.
+		sp.Serve(stats.BDSrcMain)
+		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(t mem.Cycle) {
 			mmArrived, mmT = true, t
 			if tadMiss {
 				finishMiss(t)
@@ -301,6 +312,7 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	}
 
 	a.wc.AMSR++
+	sp.Meta()
 	a.tad(addr, mem.MetaReadKind, coreID, func(t mem.Cycle) {
 		line := a.tags.Probe(addr)
 		hit := line != nil
@@ -309,6 +321,8 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 			a.st.ReadHits++
 			line.State |= 1 // reused
 			a.tags.Lookup(addr)
+			sp.Decide(stats.BDTechNone)
+			sp.Serve(stats.BDSrcCache)
 			done(t) // the TAD carries the data; a parallel MM response is dropped
 			return
 		}
@@ -316,6 +330,7 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 		a.wc.AMM++
 		a.wc.Rm++
 		tadMiss = true
+		sp.Decide(stats.BDTechNone)
 		if launchParallel {
 			if mmArrived {
 				tt := t
@@ -326,7 +341,8 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 			}
 			return
 		}
-		a.mm.Access(addr, mem.ReadKind, coreID, func(tt mem.Cycle) { finishMiss(tt) })
+		sp.Serve(stats.BDSrcMain)
+		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(tt mem.Cycle) { finishMiss(tt) })
 	})
 }
 
@@ -464,3 +480,7 @@ func (a *Alloy) WarmWriteback(addr mem.Addr, coreID int) {
 // SetPartitioner replaces the partitioning policy (used after construction
 // once the DAP instance has been wired to this controller's counters).
 func (a *Alloy) SetPartitioner(p core.Partitioner) { a.part = p }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables tracing; all
+// hooks are nil-safe no-ops).
+func (a *Alloy) SetTracer(t *obs.Tracer) { a.tr = t }

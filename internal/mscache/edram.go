@@ -5,6 +5,7 @@ import (
 	"dap/internal/core"
 	"dap/internal/dram"
 	"dap/internal/mem"
+	"dap/internal/obs"
 	"dap/internal/sim"
 	"dap/internal/stats"
 )
@@ -55,6 +56,7 @@ type EDRAM struct {
 	part core.Partitioner
 	wc   core.WindowCounts
 	st   stats.MemSideStats
+	tr   *obs.Tracer
 
 	sectorBlocks uint64
 }
@@ -100,6 +102,9 @@ func (e *EDRAM) blockBit(a mem.Addr) uint64 {
 // Read implements cpu.Backend.
 func (e *EDRAM) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cycle)) {
 	addr = addr.LineAligned()
+	sp := e.tr.Read(coreID, addr, kind)
+	done = sp.Wrap(done)
+	sp.Meta()
 	e.eng.After(e.cfg.TagLat, func() {
 		bit := e.blockBit(addr)
 		line := e.tags.Probe(addr)
@@ -112,18 +117,24 @@ func (e *EDRAM) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 				e.wc.CleanHits++
 				if e.part.TakeIFRM(coreID) {
 					e.st.ForcedMisses++
-					e.mm.Access(addr, mem.ReadKind, coreID, done)
+					sp.Decide(stats.BDTechIFRM)
+					sp.Serve(stats.BDSrcMain)
+					e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 					return
 				}
 			}
-			e.rdev.Access(addr, mem.ReadKind, coreID, done)
+			sp.Decide(stats.BDTechNone)
+			sp.Serve(stats.BDSrcCache)
+			e.rdev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 			return
 		}
 		// read miss
 		e.st.ReadMisses++
 		e.wc.AMM++
 		e.wc.Rm++
-		e.mm.Access(addr, mem.ReadKind, coreID, done)
+		sp.Decide(stats.BDTechNone)
+		sp.Serve(stats.BDSrcMain)
+		e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 		e.handleFill(addr, line)
 	})
 }
@@ -231,3 +242,7 @@ func (e *EDRAM) WarmWriteback(addr mem.Addr, coreID int) {
 // SetPartitioner replaces the partitioning policy (used after construction
 // once the DAP instance has been wired to this controller's counters).
 func (e *EDRAM) SetPartitioner(p core.Partitioner) { e.part = p }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables tracing; all
+// hooks are nil-safe no-ops).
+func (e *EDRAM) SetTracer(t *obs.Tracer) { e.tr = t }

@@ -5,6 +5,7 @@ import (
 	"dap/internal/core"
 	"dap/internal/dram"
 	"dap/internal/mem"
+	"dap/internal/obs"
 	"dap/internal/policy"
 	"dap/internal/sim"
 	"dap/internal/stats"
@@ -70,6 +71,7 @@ type Sectored struct {
 	part core.Partitioner
 	wc   core.WindowCounts
 	st   stats.MemSideStats
+	tr   *obs.Tracer
 
 	sectorBlocks uint64
 
@@ -231,6 +233,8 @@ func (s *Sectored) installTagEntry(a mem.Addr) {
 // Read implements cpu.Backend: an L3 read miss (or hardware prefetch).
 func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cycle)) {
 	addr = addr.LineAligned()
+	sp := s.tr.Read(coreID, addr, kind)
+	done = sp.Wrap(done)
 
 	// BATMAN: disabled sets go straight to main memory, no allocation.
 	// These accesses count as misses in the hit-rate feedback — that is
@@ -240,7 +244,8 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 			s.BATMAN.NoteLookup(false)
 			s.st.ReadMisses++
 			s.wc.AMM++
-			s.mm.Access(addr, kind, coreID, done)
+			sp.Serve(stats.BDSrcMain)
+			s.mm.AccessTraced(addr, kind, coreID, obs.OnIssue(sp), done)
 			return
 		}
 	}
@@ -259,12 +264,14 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 					s.st.ReadMisses++
 				}
 				s.wc.AMM++
-				s.mm.Access(addr, kind, coreID, done)
+				sp.Serve(stats.BDSrcMain)
+				s.mm.AccessTraced(addr, kind, coreID, obs.OnIssue(sp), done)
 				return
 			}
 		}
 	}
 
+	sp.Meta()
 	s.tagPath(addr, coreID, true, func(line *cache.Line, sfrm bool) {
 		bit := s.blockBit(addr)
 		present := line != nil && line.VMask&bit != 0
@@ -288,16 +295,24 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 				// come from the cache array
 				s.st.SpecForced++
 				s.st.SpecWasted++
-				s.dev.Access(addr, mem.ReadKind, coreID, done)
+				sp.Decide(stats.BDTechSFRM)
+				sp.Serve(stats.BDSrcCache)
+				s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 			case sfrm:
 				// clean hit already being served by main memory
 				s.st.SpecForced++
-				s.mm.Access(addr, mem.ReadKind, coreID, done)
+				sp.Decide(stats.BDTechSFRM)
+				sp.Serve(stats.BDSrcMain)
+				s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 			case !dirty && s.part.TakeIFRM(coreID):
 				s.st.ForcedMisses++
-				s.mm.Access(addr, mem.ReadKind, coreID, done)
+				sp.Decide(stats.BDTechIFRM)
+				sp.Serve(stats.BDSrcMain)
+				s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 			default:
-				s.dev.Access(addr, mem.ReadKind, coreID, done)
+				sp.Decide(stats.BDTechNone)
+				sp.Serve(stats.BDSrcCache)
+				s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 			}
 			return
 		}
@@ -305,7 +320,9 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 		s.st.ReadMisses++
 		s.wc.AMM++
 		s.wc.Rm++
-		s.mm.Access(addr, mem.ReadKind, coreID, done)
+		sp.Decide(stats.BDTechNone)
+		sp.Serve(stats.BDSrcMain)
+		s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 		s.handleFill(addr, line)
 	})
 }
@@ -547,3 +564,7 @@ func (s *Sectored) WarmWriteback(addr mem.Addr, coreID int) {
 // SetPartitioner replaces the partitioning policy (used after construction
 // once the DAP instance has been wired to this controller's counters).
 func (s *Sectored) SetPartitioner(p core.Partitioner) { s.part = p }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables tracing; all
+// hooks are nil-safe no-ops).
+func (s *Sectored) SetTracer(t *obs.Tracer) { s.tr = t }

@@ -81,6 +81,11 @@ func New() *Engine { return &Engine{} }
 // Now returns the current simulated cycle.
 func (e *Engine) Now() mem.Cycle { return e.now }
 
+// Clock returns the engine's timestamp source as a plain function, the
+// form consumed by observability components (internal/obs) that must not
+// depend on the engine itself.
+func (e *Engine) Clock() func() mem.Cycle { return e.Now }
+
 // At schedules fn to run at absolute cycle when. Scheduling in the past is
 // clamped to the current cycle (the event runs before time advances).
 func (e *Engine) At(when mem.Cycle, fn func()) {

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Serving-source indices for LatencyBreakdown cells: which bandwidth source
+// returned the data of a traced L3 miss.
+const (
+	BDSrcCache = iota // served by the memory-side cache array
+	BDSrcMain         // served by main memory
+	BDNumSrc
+)
+
+// DAP-technique indices for LatencyBreakdown cells: which partitioning
+// technique (if any) steered the traced miss. Fill/write bypasses never
+// steer a read's serving source, so only the read-side techniques appear.
+const (
+	BDTechNone = iota // no technique applied
+	BDTechIFRM        // instantaneous forced read miss
+	BDTechSFRM        // speculative forced read miss
+	BDNumTech
+)
+
+var (
+	bdSrcNames  = [BDNumSrc]string{"ms$", "mm"}
+	bdTechNames = [BDNumTech]string{"none", "ifrm", "sfrm"}
+)
+
+// BDSrcName names a serving-source index.
+func BDSrcName(i int) string {
+	if i >= 0 && i < BDNumSrc {
+		return bdSrcNames[i]
+	}
+	return fmt.Sprintf("src(%d)", i)
+}
+
+// BDTechName names a technique index.
+func BDTechName(i int) string {
+	if i >= 0 && i < BDNumTech {
+		return bdTechNames[i]
+	}
+	return fmt.Sprintf("tech(%d)", i)
+}
+
+// PhaseLatency holds the per-phase latency distributions of traced L3
+// misses: in-device queueing of the serving access, the tag/metadata probe
+// round trip, the data-service remainder, and the end-to-end total.
+type PhaseLatency struct {
+	Queue, Meta, Service, Total Histogram
+}
+
+// Merge folds another PhaseLatency into p.
+func (p *PhaseLatency) Merge(o *PhaseLatency) {
+	p.Queue.Merge(&o.Queue)
+	p.Meta.Merge(&o.Meta)
+	p.Service.Merge(&o.Service)
+	p.Total.Merge(&o.Total)
+}
+
+// LatencyBreakdown aggregates traced L3-miss phase latencies by serving
+// source and by the DAP technique applied. It is populated by the
+// request-lifecycle tracer in internal/obs and deliberately lives outside
+// Run, so instrumented runs keep a bit-identical stats.Run.
+type LatencyBreakdown struct {
+	Cells [BDNumSrc][BDNumTech]PhaseLatency
+}
+
+// Add records one traced miss. Out-of-range indices are dropped rather than
+// panicking — the breakdown is diagnostics, not control flow.
+func (b *LatencyBreakdown) Add(src, tech int, queue, meta, service, total uint64) {
+	if b == nil || src < 0 || src >= BDNumSrc || tech < 0 || tech >= BDNumTech {
+		return
+	}
+	c := &b.Cells[src][tech]
+	c.Queue.Add(queue)
+	c.Meta.Add(meta)
+	c.Service.Add(service)
+	c.Total.Add(total)
+}
+
+// Spans returns the total number of traced misses recorded.
+func (b *LatencyBreakdown) Spans() uint64 {
+	if b == nil {
+		return 0
+	}
+	var n uint64
+	for s := range b.Cells {
+		for t := range b.Cells[s] {
+			n += b.Cells[s][t].Total.Count
+		}
+	}
+	return n
+}
+
+// BySource merges the technique cells of one serving source.
+func (b *LatencyBreakdown) BySource(src int) PhaseLatency {
+	var out PhaseLatency
+	if b == nil || src < 0 || src >= BDNumSrc {
+		return out
+	}
+	for t := range b.Cells[src] {
+		out.Merge(&b.Cells[src][t])
+	}
+	return out
+}
+
+// String renders the populated cells as a table of counts, mean phase
+// latencies and the p99 of the end-to-end total (cycles).
+func (b *LatencyBreakdown) String() string {
+	if b == nil || b.Spans() == 0 {
+		return "(no traced spans)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %8s %8s %8s %8s %8s\n",
+		"src/tech", "spans", "queue", "meta", "service", "total", "p99")
+	for s := 0; s < BDNumSrc; s++ {
+		for t := 0; t < BDNumTech; t++ {
+			c := &b.Cells[s][t]
+			if c.Total.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-12s %10d %8.1f %8.1f %8.1f %8.1f %8d\n",
+				BDSrcName(s)+"/"+BDTechName(t), c.Total.Count,
+				c.Queue.Mean(), c.Meta.Mean(), c.Service.Mean(), c.Total.Mean(),
+				c.Total.Percentile(99))
+		}
+	}
+	return sb.String()
+}

@@ -117,6 +117,16 @@ func (m *MemSideStats) ReadHitRatio() float64 {
 	return float64(m.ReadHits) / float64(t)
 }
 
+// SpecWastedRatio is the fraction of SFRM speculative main-memory reads
+// whose data was discarded because the access turned out to be a dirty hit
+// (wasted main-memory bandwidth, Section 4.4).
+func (m *MemSideStats) SpecWastedRatio() float64 {
+	if m.SpecForced == 0 {
+		return 0
+	}
+	return float64(m.SpecWasted) / float64(m.SpecForced)
+}
+
 // TagCacheMissRatio is the SRAM tag-cache miss rate (Figure 5).
 func (m *MemSideStats) TagCacheMissRatio() float64 {
 	t := m.TagCacheHits + m.TagCacheMisses
