@@ -4,9 +4,9 @@
 # exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench obs-check trace-demo
+.PHONY: check vet build test race bench bench-figures runner-race obs-check trace-demo
 
-check: vet build race obs-check
+check: vet build race runner-race obs-check
 
 vet:
 	$(GO) vet ./...
@@ -17,15 +17,37 @@ build:
 test:
 	$(GO) test ./...
 
+# The harness integration suite is simulation-bound; under the race
+# detector it needs far more than go test's default 10-minute budget.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 90m ./...
 
 obs-check:
 	$(GO) vet ./internal/obs/...
 	$(GO) test -race ./internal/obs/... -run . -count=1
 	$(GO) test -race ./internal/harness/ -run 'TestObservability|TestObsConfig' -count=1
 
+# runner-race exercises the worker pool and the parallel experiment drivers
+# under the race detector: the full runner suite (ordering, panic/error
+# propagation), the harness unit tests, and the parallel-vs-serial figure
+# identity sweep (which shrinks itself to race-affordable drivers — see
+# raceEnabled in internal/harness). The full harness integration suite is
+# simulation-bound and exceeds any sane race budget; `make race` covers it
+# without the detector's ~10x tax via the plain test target.
+runner-race:
+	$(GO) test -race ./internal/runner
+	$(GO) test -race -short ./internal/harness
+	$(GO) test -race -run 'TestParallelFiguresBitIdentical|TestAloneFingerprintSeparates' -timeout 20m -count=1 ./internal/harness
+
+# bench runs the substrate microbenchmarks plus the end-to-end quick run and
+# writes the machine-readable report consumed by DESIGN.md's performance
+# section. bench-figures is the full figure-regeneration benchmark suite.
 bench:
+	$(GO) test -bench='EngineEvent|CacheLookup|DRAMStream|WorkloadGen|EndToEndQuickRun|Replicate6' \
+		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json \
+		-note "Replicate6Serial/Replicate6J8 is the delivered -j 8 wall-clock speedup; it tracks the host's CPUs (GOMAXPROCS in this file) and results are bit-identical at any -j"
+
+bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # trace-demo produces a small end-to-end observability artifact set: a

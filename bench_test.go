@@ -7,11 +7,13 @@
 // Run with:
 //
 //	go test -bench=. -benchmem            # quick-scale experiments
+//	go test -bench=. -benchmem -jobs 8    # fan simulations across 8 workers
 //
 // cmd/figures runs the full-length versions used for EXPERIMENTS.md.
 package dap_test
 
 import (
+	"flag"
 	"testing"
 
 	"dap/internal/cache"
@@ -22,13 +24,23 @@ import (
 	"dap/internal/workload"
 )
 
+// -jobs is the benchmarks' -j knob: simulations per experiment run
+// concurrently, with output bit-identical to a serial run (0 = GOMAXPROCS).
+var benchJobs = flag.Int("jobs", 0, "concurrent simulations per figure benchmark (0 = GOMAXPROCS, 1 = serial)")
+
 var quick = harness.Options{Quick: true}
+
+func quickOpts() harness.Options {
+	o := quick
+	o.Parallel = *benchJobs
+	return o
+}
 
 // benchFigure runs an experiment once per iteration and reports its summary.
 func benchFigure(b *testing.B, run func(harness.Options) harness.Figure, metric string) {
 	var fig harness.Figure
 	for i := 0; i < b.N; i++ {
-		fig = run(quick)
+		fig = run(quickOpts())
 	}
 	b.Log("\n" + fig.String())
 	if len(fig.Series) > 0 && metric != "" {
@@ -41,7 +53,7 @@ func benchFigure(b *testing.B, run func(harness.Options) harness.Figure, metric 
 func BenchmarkFig01BandwidthVsHitRate(b *testing.B) {
 	var fig harness.Figure
 	for i := 0; i < b.N; i++ {
-		fig = harness.Fig01(quick)
+		fig = harness.Fig01(quickOpts())
 	}
 	b.Log("\n" + fig.String())
 	b.ReportMetric(fig.Series[0].Values[len(fig.Series[0].Values)-1], "GBps_dram_100pct")
@@ -70,7 +82,7 @@ func BenchmarkFig05TagCache(b *testing.B) {
 func BenchmarkFig06DAPSectored(b *testing.B) {
 	var fig harness.Figure
 	for i := 0; i < b.N; i++ {
-		fig = harness.Fig06(quick)
+		fig = harness.Fig06(quickOpts())
 	}
 	b.Log("\n" + fig.String())
 	b.ReportMetric(fig.Series[0].Summary, "gmean_speedup")
@@ -243,3 +255,19 @@ func BenchmarkEndToEndQuickRun(b *testing.B) {
 		harness.RunMix(cfg, mix)
 	}
 }
+
+// benchReplicate measures the runner's wall-clock scaling: six seeded quick
+// replicas fanned across j workers. The ratio Serial/J8 is the delivered
+// parallel speedup; it tracks the host's available CPUs (bit-identical
+// results either way).
+func benchReplicate(b *testing.B, j int) {
+	cfg := harness.Quick()
+	spec, _ := workload.ByName("libquantum")
+	mix := workload.RateMix(spec, cfg.CPU.Cores)
+	for i := 0; i < b.N; i++ {
+		harness.ReplicateParallel(j, cfg, mix, 6, func(harness.Result) float64 { return 0 })
+	}
+}
+
+func BenchmarkReplicate6Serial(b *testing.B) { benchReplicate(b, 1) }
+func BenchmarkReplicate6J8(b *testing.B)     { benchReplicate(b, 8) }

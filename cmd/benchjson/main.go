@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON benchmark report. It reads the benchmark log on
+// stdin, echoes it unchanged to stdout (so it can sit in a pipe without
+// hiding the live output), and writes one JSON object per benchmark to the
+// -o file: ns/op, B/op, allocs/op and any custom metrics reported with
+// b.ReportMetric (the figure benchmarks' headline gmean/mean numbers).
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's parsed result. Metrics holds the non-standard
+// units (e.g. "gmean_speedup", "GBps_dram_100pct").
+type entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Note       string  `json:"note,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout, after the echoed log)")
+	note := flag.String("note", "", "free-form note recorded in the report (e.g. host caveats)")
+	flag.Parse()
+
+	rep := report{Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if e, procs, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, e)
+			rep.GOMAXPROCS = procs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatalf("encoding: %v", err)
+	}
+	if *out != "" {
+		fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
+// line; non-benchmark lines return ok=false.
+func parseBenchLine(line string) (e entry, procs int, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return e, 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return e, 0, false
+	}
+	e = entry{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return e, 0, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return e, procs, true
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

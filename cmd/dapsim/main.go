@@ -7,6 +7,7 @@
 //	dapsim -workload mcf -policy dap
 //	dapsim -workload omnetpp -arch alloy -policy dap -instr 2000000
 //	dapsim -mix hetero-dis-03 -policy batman
+//	dapsim -workload mcf -replicate 8 -j 4
 //	dapsim -list
 package main
 
@@ -40,6 +41,8 @@ func main() {
 		audit   = flag.Bool("audit", false, "enable the runtime invariant auditor (aborts on the first violation)")
 		wdog    = flag.Int("watchdog", 0, "forward-progress watchdog deadline in events (0 = default, -1 = off)")
 		seed    = flag.Uint64("seed", 0, "workload address-stream seed (0 = default streams)")
+		replic  = flag.Int("replicate", 0, "run N replicas over seeds 0..N-1 and report mean/std aggregate IPC")
+		jobs    = flag.Int("j", 0, "max concurrent replica simulations (0 = GOMAXPROCS, 1 = serial)")
 
 		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON of L3-miss lifecycles to this file (load in Perfetto)")
 		traceSample  = flag.Int("trace-sample", 0, "trace every Nth L3 miss (0 = tracer default of 1)")
@@ -131,6 +134,37 @@ func main() {
 		var err error
 		mix, err = dap.WorkloadByNameE(*wl, *cores)
 		fatalIf(err)
+	}
+
+	if *replic > 0 {
+		// Replicated mode: N runs over seeds 0..N-1, fanned across -j
+		// workers. Per-seed values are seed-ordered and identical at any -j.
+		aggIPC := func(r dap.Result) float64 {
+			s := 0.0
+			for i := range r.Cores {
+				s += r.Cores[i].IPC()
+			}
+			return s
+		}
+		vals, mean, std := dap.Replicate(*jobs, cfg, mix, *replic, aggIPC)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			fatalIf(enc.Encode(struct {
+				Mix    string    `json:"mix"`
+				Seeds  int       `json:"seeds"`
+				AggIPC []float64 `json:"agg_ipc"`
+				Mean   float64   `json:"mean"`
+				StdDev float64   `json:"std_dev"`
+			}{mix.Name, *replic, vals, mean, std}))
+			return
+		}
+		fmt.Printf("dapsim %s: %d replicas (seeds 0..%d), -j %d\n", mix.Name, *replic, *replic-1, *jobs)
+		for s, v := range vals {
+			fmt.Printf("  seed %2d: aggregate IPC %.4f\n", s, v)
+		}
+		fmt.Printf("aggregate IPC: mean %.4f, std %.4f\n", mean, std)
+		return
 	}
 
 	// One-line effective configuration so a pasted log is self-describing.

@@ -5,6 +5,8 @@
 //	figures                # every experiment, full length
 //	figures -quick         # shortened runs
 //	figures -only fig6,tab1,fig11
+//	figures -j 8           # fan simulations across 8 workers (output is
+//	                       # bit-identical at any -j; 0 = GOMAXPROCS)
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shortened runs")
 	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1)")
 	chart := flag.Bool("chart", false, "also render each figure's first series as an ASCII bar chart")
+	jobs := flag.Int("j", 0, "max concurrent simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -52,7 +55,7 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
-	opts := dap.Options{Quick: *quick}
+	opts := dap.Options{Quick: *quick, Parallel: *jobs}
 	ran := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.key] {

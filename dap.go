@@ -200,6 +200,14 @@ func AloneIPC(cfg Config, name string) float64 {
 	return v
 }
 
+// Replicate runs a workload over n address-stream seeds — fanning the
+// simulations across up to parallel workers (0 = GOMAXPROCS, 1 = serial) —
+// and returns the per-seed values of metric in seed order plus their mean
+// and sample standard deviation. Results are identical at any parallelism.
+func Replicate(parallel int, cfg Config, w Workload, n int, metric func(Result) float64) (vals []float64, mean, std float64) {
+	return harness.ReplicateParallel(parallel, cfg, w, n, metric)
+}
+
 // Figure identifies a reproducible experiment.
 type Figure = harness.Figure
 

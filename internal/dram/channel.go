@@ -13,9 +13,12 @@ type bank struct {
 	actAt    mem.Cycle // last activation time (for tRAS)
 }
 
-// queued is a request waiting in a channel queue.
+// queued is a request waiting in a channel queue. The request is held by
+// value: nothing outside the channel references it once enqueued, and
+// copying it here lets Access/Enqueue build requests on the stack instead
+// of heap-allocating one per memory access.
 type queued struct {
-	req      *mem.Request
+	req      mem.Request
 	bank     int
 	row      int64
 	enqueued mem.Cycle
@@ -98,7 +101,7 @@ func newChannel(cfg *Config, eng *sim.Engine) *channel {
 }
 
 // enqueue adds a request; bank/row decoding already done by the device.
-func (ch *channel) enqueue(r *mem.Request, bk int, row int64) {
+func (ch *channel) enqueue(r mem.Request, bk int, row int64) {
 	q := queued{req: r, bank: bk, row: row, enqueued: ch.eng.Now()}
 	if r.Kind.IsWrite() && !ch.cfg.ReadOnly {
 		ch.writeQ = append(ch.writeQ, q)
@@ -260,8 +263,9 @@ func (ch *channel) issue(e *queued, now mem.Cycle) {
 		ch.stats.ReadLat.Add(uint64(done - e.enqueued))
 	}
 	if e.req.Done != nil {
-		fn := e.req.Done
-		ch.eng.At(done, func() { fn(done) })
+		// AtCall hands the callback its execution cycle directly, so no
+		// wrapper closure is allocated per completed access.
+		ch.eng.AtCall(done, e.req.Done)
 	}
 }
 

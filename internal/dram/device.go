@@ -71,45 +71,60 @@ func (d *Device) route(a mem.Addr) (ch, bk int, row int64) {
 }
 
 // Enqueue submits a request to the device. The request's Done callback (if
-// any) fires when data is transferred.
+// any) fires when data is transferred. The request is consumed by value —
+// the device never retains r — so callers may pass a stack-allocated
+// request and reuse or discard it immediately.
 func (d *Device) Enqueue(r *mem.Request) {
-	if d.Fault != nil {
-		if act := d.Fault(r); act.DropResponse || act.ExtraDelay > 0 {
-			r = d.injectFault(r, act)
-		}
-	}
-	d.Kinds[r.Kind]++
-	ch, bk, row := d.route(r.Addr)
-	d.channels[ch].enqueue(r, bk, row)
+	d.enqueueReq(*r)
 }
 
-// injectFault rewrites a request according to a fault verdict: a dropped
-// response loses its Done callback (the transfer still happens, so the
-// bandwidth is spent, but the waiter never wakes); a delay defers Done.
-func (d *Device) injectFault(r *mem.Request, act FaultAction) *mem.Request {
-	faulted := *r
-	switch {
-	case act.DropResponse:
-		faulted.Done = nil
-	case faulted.Done != nil:
-		orig, extra := faulted.Done, act.ExtraDelay
-		faulted.Done = func(t mem.Cycle) {
-			d.eng.After(extra, func() { orig(t + extra) })
+// enqueueReq is the by-value request path shared by Access, AccessTraced
+// and Enqueue. Keeping the fault hook on a separate non-inlined path lets
+// escape analysis keep fault-free requests (the overwhelmingly common
+// case) off the heap entirely.
+func (d *Device) enqueueReq(req mem.Request) {
+	if d.Fault != nil {
+		d.enqueueFaulty(req)
+		return
+	}
+	d.Kinds[req.Kind]++
+	ch, bk, row := d.route(req.Addr)
+	d.channels[ch].enqueue(req, bk, row)
+}
+
+// enqueueFaulty consults the fault hook and rewrites the request according
+// to its verdict: a dropped response loses its Done callback (the transfer
+// still happens, so the bandwidth is spent, but the waiter never wakes); a
+// delay defers Done.
+//
+//go:noinline
+func (d *Device) enqueueFaulty(req mem.Request) {
+	if act := d.Fault(&req); act.DropResponse || act.ExtraDelay > 0 {
+		switch {
+		case act.DropResponse:
+			req.Done = nil
+		case req.Done != nil:
+			orig, extra := req.Done, act.ExtraDelay
+			req.Done = func(t mem.Cycle) {
+				d.eng.After(extra, func() { orig(t + extra) })
+			}
 		}
 	}
-	return &faulted
+	d.Kinds[req.Kind]++
+	ch, bk, row := d.route(req.Addr)
+	d.channels[ch].enqueue(req, bk, row)
 }
 
 // Access is a convenience wrapper building a Request.
 func (d *Device) Access(a mem.Addr, k mem.Kind, core int, done func(mem.Cycle)) {
-	d.Enqueue(&mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), Done: done})
+	d.enqueueReq(mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), Done: done})
 }
 
 // AccessTraced is Access with an observability issue hook attached: onIssue
 // (if non-nil) receives the request's in-queue wait when its data burst is
 // scheduled. Timing is identical to Access.
 func (d *Device) AccessTraced(a mem.Addr, k mem.Kind, core int, onIssue func(mem.Cycle), done func(mem.Cycle)) {
-	d.Enqueue(&mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), OnIssue: onIssue, Done: done})
+	d.enqueueReq(mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), OnIssue: onIssue, Done: done})
 }
 
 // NumChannels returns the number of channels.

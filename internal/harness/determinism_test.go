@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// allDrivers names every experiment driver in the package.
+var allDrivers = []struct {
+	name string
+	run  func(Options) Figure
+}{
+	{"Fig01", Fig01}, {"Fig02", Fig02}, {"Fig04", Fig04}, {"Fig05", Fig05},
+	{"Fig06", Fig06}, {"Fig07", Fig07}, {"Fig08", Fig08}, {"Tab01", Tab01},
+	{"Fig09", Fig09}, {"Fig10", Fig10}, {"Fig11", Fig11}, {"Fig12", Fig12},
+	{"Fig13", Fig13}, {"Fig14", Fig14}, {"Fig15", Fig15},
+	{"AblCreditWidth", AblationCreditWidth}, {"AblKApprox", AblationKApprox},
+	{"AblSFRMReserve", AblationSFRMReserve}, {"AblTechniques", AblationTechniques},
+	{"AblLearning", AblationLearning}, {"AblThreadAware", AblationThreadAware},
+	{"AblReplacement", AblationReplacement}, {"AblFootprint", AblationFootprint},
+	{"FigBreakdown", FigBreakdown},
+}
+
+// determinismSubset is the representative slice of allDrivers the default
+// test sweeps: the kernel path (Fig01), runMixes + nws over two architectures
+// (Fig02, Fig06), a DAP-decision driver (Fig07), an ablation with a
+// DAPOverride (AblTechniques) and the traced observability driver
+// (FigBreakdown). Set DAP_DETERMINISM_ALL=1 to sweep every driver instead.
+var determinismSubset = map[string]bool{
+	"Fig01": true, "Fig02": true, "Fig06": true, "Fig07": true,
+	"AblTechniques": true, "FigBreakdown": true,
+}
+
+// TestParallelFiguresBitIdentical asserts the tentpole guarantee: a figure
+// produced with eight workers is deep-equal — bit-identical floats — to the
+// one produced strictly serially. Runs at tiny scale so whole drivers stay
+// affordable; the scheduling paths exercised are exactly the ones full-length
+// runs use.
+func TestParallelFiguresBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	all := os.Getenv("DAP_DETERMINISM_ALL") == "1"
+	// Under the race detector simulations run ~10x slower; keep the two
+	// cheapest drivers (which still fan out through the pool and the memo)
+	// so `go test -race` gets real concurrency coverage at bounded cost.
+	raceSubset := map[string]bool{"Fig01": true, "FigBreakdown": true}
+	for _, d := range allDrivers {
+		if !all && !determinismSubset[d.name] {
+			continue
+		}
+		if raceEnabled && !raceSubset[d.name] {
+			continue
+		}
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			par := d.run(Options{Quick: true, Parallel: 8, tiny: true})
+			ser := d.run(Options{Quick: true, Parallel: 1, tiny: true})
+			if !reflect.DeepEqual(par, ser) {
+				t.Fatalf("parallel figure differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s",
+					par.String(), ser.String())
+			}
+		})
+	}
+}
+
+// TestAloneMemoSharing asserts the process-wide alone-IPC memo serves
+// repeated (config, workload) pairs from one simulation: a second identical
+// driver invocation must not grow the memo.
+func TestAloneMemoSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	if raceEnabled {
+		t.Skip("simulation-bound; the determinism sweep covers the memo under race")
+	}
+	o := Options{Quick: true, Parallel: 4, tiny: true}
+	Fig06(o)
+	alone.mu.Lock()
+	n := len(alone.m)
+	alone.mu.Unlock()
+	if n == 0 {
+		t.Fatal("alone memo empty after a weighted-speedup driver")
+	}
+	Fig06(o)
+	alone.mu.Lock()
+	n2 := len(alone.m)
+	alone.mu.Unlock()
+	if n2 != n {
+		t.Fatalf("memo grew on an identical rerun: %d -> %d entries", n, n2)
+	}
+}
+
+// TestAloneFingerprintSeparates guards the memo key: configurations that
+// change the alone-IPC denominator (cache capacity, architecture, main
+// memory) must not collide, while fields that cannot affect a single-core
+// alone run on the baseline policy (core count is normalized to 1) must.
+func TestAloneFingerprintSeparates(t *testing.T) {
+	base := Quick()
+	cap := base
+	cap.Sectored.CapacityBytes *= 2
+	arch := base
+	arch.Arch = AlloyCache
+	if aloneFingerprint(base) == aloneFingerprint(cap) {
+		t.Fatal("capacity change must change the fingerprint")
+	}
+	if aloneFingerprint(base) == aloneFingerprint(arch) {
+		t.Fatal("architecture change must change the fingerprint")
+	}
+	cores := base
+	cores.CPU.Cores = 16
+	if aloneFingerprint(base) != aloneFingerprint(cores) {
+		t.Fatal("core count is normalized to 1 and must not change the fingerprint")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dap/internal/core"
 	"dap/internal/dram"
 	"dap/internal/mem"
+	"dap/internal/runner"
 	"dap/internal/stats"
 	"dap/internal/workload"
 )
@@ -16,9 +17,27 @@ import (
 // the cmd/figures binary uses full-length runs.
 type Options struct {
 	Quick bool
+	// Parallel caps the number of simulations a driver runs concurrently
+	// (0 = GOMAXPROCS, 1 = strictly serial, the -j knob of cmd/figures).
+	// Every simulation owns a private engine and results are assembled in
+	// submission order, so a figure produced at any Parallel setting is
+	// bit-identical to the serial one.
+	Parallel int
+
+	// tiny shrinks runs far below Quick so in-package tests can afford to
+	// execute whole drivers repeatedly (e.g. the parallel-vs-serial
+	// determinism sweep). Deliberately unexported: figures produced at this
+	// scale are statistically meaningless.
+	tiny bool
 }
 
 func (o Options) base() Config {
+	if o.tiny {
+		c := Quick()
+		c.WarmAccesses = 40_000
+		c.MeasureInstr = 80_000
+		return c
+	}
 	if o.Quick {
 		return Quick()
 	}
@@ -48,25 +67,40 @@ func sensitiveMixes(cores int) []workload.Mix {
 	return out
 }
 
+// runMixes fans RunMix out across the worker pool, one simulation per mix,
+// and returns the results in mix order.
+func runMixes(o Options, cfg Config, mixes []workload.Mix) []Result {
+	return runner.Map(o.Parallel, len(mixes), func(i int) Result {
+		return RunMix(cfg, mixes[i])
+	})
+}
+
 // nws runs every (config, mix) pair and returns normalized weighted speedup
 // series: WS(config)/WS(base) per mix, weighted by alone IPCs measured on
-// weightCfg.
-func nws(mixes []workload.Mix, base Config, alts []labeled, weightCfg Config) []Series {
-	cache := newAloneCache()
-	baseWS := make([]float64, len(mixes))
-	for i, m := range mixes {
-		r := RunMix(base, m)
-		baseWS[i] = cache.weightedSpeedup(r, weightCfg, m)
-	}
-	var out []Series
+// weightCfg. All (1+len(alts))*len(mixes) simulations fan out across one
+// worker pool; the alone-IPC denominators come from the process-wide
+// single-flight memo, so they are simulated at most once per process.
+func nws(o Options, mixes []workload.Mix, base Config, alts []labeled, weightCfg Config) []Series {
+	cfgs := make([]Config, 0, 1+len(alts))
+	cfgs = append(cfgs, base)
 	for _, alt := range alts {
+		cfgs = append(cfgs, alt.cfg)
+	}
+	// ws[ci*len(mixes)+mi] is the weighted speedup of cfgs[ci] on mixes[mi]
+	ws := runner.Map(o.Parallel, len(cfgs)*len(mixes), func(j int) float64 {
+		ci, mi := j/len(mixes), j%len(mixes)
+		r := RunMix(cfgs[ci], mixes[mi])
+		return alone.weightedSpeedup(r, weightCfg, mixes[mi])
+	})
+	baseWS := ws[:len(mixes)]
+	var out []Series
+	for ai, alt := range alts {
 		s := Series{Label: alt.label, Names: mixNames(mixes), SummaryKind: "GMEAN"}
-		for i, m := range mixes {
-			r := RunMix(alt.cfg, m)
-			ws := cache.weightedSpeedup(r, weightCfg, m)
+		altWS := ws[(ai+1)*len(mixes):]
+		for i := range mixes {
 			v := 0.0
 			if baseWS[i] > 0 {
-				v = ws / baseWS[i]
+				v = altWS[i] / baseWS[i]
 			}
 			s.Values = append(s.Values, v)
 		}
@@ -83,15 +117,20 @@ func Fig01(o Options) Figure {
 	if o.Quick {
 		dur = 800_000
 	}
+	if o.tiny {
+		dur = 200_000
+	}
 	names := make([]string, len(Figure1HitRates))
-	dramS := Series{Label: "DRAM$", SummaryKind: ""}
-	edramS := Series{Label: "eDRAM$"}
 	for i, h := range Figure1HitRates {
 		names[i] = fmt.Sprintf("%.0f%%", h*100)
-		dramS.Values = append(dramS.Values, BandwidthKernel(KernelDRAMCache, h, 256, dur).DeliveredGBps)
-		edramS.Values = append(edramS.Values, BandwidthKernel(KernelEDRAM, h, 256, dur).DeliveredGBps)
 	}
-	dramS.Names, edramS.Names = names, names
+	// one kernel simulation per (architecture, hit rate) point
+	points := runner.Map(o.Parallel, 2*len(Figure1HitRates), func(j int) float64 {
+		arch, h := KernelArch(j/len(Figure1HitRates)), Figure1HitRates[j%len(Figure1HitRates)]
+		return BandwidthKernel(arch, h, 256, dur).DeliveredGBps
+	})
+	dramS := Series{Label: "DRAM$", Names: names, Values: points[:len(Figure1HitRates)], SummaryKind: ""}
+	edramS := Series{Label: "eDRAM$", Names: names, Values: points[len(Figure1HitRates):]}
 	return Figure{
 		ID:     "Fig. 1",
 		Title:  "Delivered bandwidth (GB/s) vs. memory-side cache hit rate",
@@ -109,14 +148,14 @@ func Fig02(o Options) Figure {
 	big.EDRAM.CapacityBytes = small.EDRAM.CapacityBytes * 2
 
 	mixes := sensitiveMixes(small.CPU.Cores)
-	speed := nws(mixes, small, []labeled{{"512MB/256MB", big}}, small)[0]
+	speed := nws(o, mixes, small, []labeled{{"512MB/256MB", big}}, small)[0]
 	speed.Label = "speedup"
 
+	rss := runMixes(o, small, mixes)
+	rbs := runMixes(o, big, mixes)
 	drop := Series{Label: "missdrop%", Names: mixNames(mixes), SummaryKind: "MEAN"}
-	for _, m := range mixes {
-		rs := RunMix(small, m)
-		rb := RunMix(big, m)
-		drop.Values = append(drop.Values, 100*(rb.MemSide.HitRatio()-rs.MemSide.HitRatio()))
+	for i := range mixes {
+		drop.Values = append(drop.Values, 100*(rbs[i].MemSide.HitRatio()-rss[i].MemSide.HitRatio()))
 	}
 	drop.Summary = stats.Mean(drop.Values)
 	return Figure{
@@ -137,11 +176,11 @@ func Fig04(o Options) Figure {
 	for _, s := range workload.All() {
 		mixes = append(mixes, workload.RateMix(s, base.CPU.Cores))
 	}
-	speed := nws(mixes, base, []labeled{{"2x-BW", double}}, base)[0]
+	speed := nws(o, mixes, base, []labeled{{"2x-BW", double}}, base)[0]
 
+	rs := runMixes(o, base, mixes)
 	mpki := Series{Label: "L3-MPKI", Names: mixNames(mixes), SummaryKind: "MEAN"}
-	for _, m := range mixes {
-		r := RunMix(base, m)
+	for _, r := range rs {
 		sum := 0.0
 		for i := range r.Cores {
 			sum += r.Cores[i].MPKI()
@@ -164,11 +203,11 @@ func Fig05(o Options) Figure {
 	without.Sectored.TagCacheEntries = 0
 
 	mixes := sensitiveMixes(with.CPU.Cores)
-	speed := nws(mixes, without, []labeled{{"tagcache", with}}, without)[0]
+	speed := nws(o, mixes, without, []labeled{{"tagcache", with}}, without)[0]
 
+	rs := runMixes(o, with, mixes)
 	miss := Series{Label: "tagmiss", Names: mixNames(mixes), SummaryKind: "MEAN"}
-	for _, m := range mixes {
-		r := RunMix(with, m)
+	for _, r := range rs {
 		miss.Values = append(miss.Values, r.MemSide.TagCacheMissRatio())
 	}
 	miss.Summary = stats.Mean(miss.Values)
@@ -188,15 +227,15 @@ func Fig06(o Options) Figure {
 	dapCfg.Policy = DAP
 
 	mixes := sensitiveMixes(base.CPU.Cores)
-	speed := nws(mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
+	speed := nws(o, mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
 
+	rbs := runMixes(o, base, mixes)
+	rds := runMixes(o, dapCfg, mixes)
 	lat := Series{Label: "norm-lat", Names: mixNames(mixes), SummaryKind: "MEAN"}
-	for _, m := range mixes {
-		rb := RunMix(base, m)
-		rd := RunMix(dapCfg, m)
+	for i := range mixes {
 		v := 0.0
-		if l := rb.AvgL3ReadMissLatency(); l > 0 {
-			v = rd.AvgL3ReadMissLatency() / l
+		if l := rbs[i].AvgL3ReadMissLatency(); l > 0 {
+			v = rds[i].AvgL3ReadMissLatency() / l
 		}
 		lat.Values = append(lat.Values, v)
 	}
@@ -220,8 +259,7 @@ func Fig07(o Options) Figure {
 	ifrm := Series{Label: "IFRM", Names: names}
 	sfrm := Series{Label: "SFRM", Names: names}
 	waste := Series{Label: "SFRM-waste", Names: names}
-	for _, m := range mixes {
-		r := RunMix(dapCfg, m)
+	for _, r := range runMixes(o, dapCfg, mixes) {
 		f, w, i, s := r.DAP.Fractions()
 		fwb.Values = append(fwb.Values, f)
 		wb.Values = append(wb.Values, w)
@@ -258,15 +296,15 @@ func Fig08(o Options) Figure {
 	hitB := Series{Label: "hit-base", Names: names, SummaryKind: "MEAN"}
 	hitF := Series{Label: "hit-fwbwb", Names: names, SummaryKind: "MEAN"}
 	hitD := Series{Label: "hit-dap", Names: names, SummaryKind: "MEAN"}
-	for _, m := range mixes {
-		rb := RunMix(base, m)
-		rf := RunMix(fw, m)
-		rd := RunMix(dapCfg, m)
-		casB.Values = append(casB.Values, rb.MainMemCASFraction())
-		casD.Values = append(casD.Values, rd.MainMemCASFraction())
-		hitB.Values = append(hitB.Values, rb.MemSide.HitRatio())
-		hitF.Values = append(hitF.Values, rf.MemSide.HitRatio())
-		hitD.Values = append(hitD.Values, rd.MemSide.HitRatio())
+	rbs := runMixes(o, base, mixes)
+	rfs := runMixes(o, fw, mixes)
+	rds := runMixes(o, dapCfg, mixes)
+	for i := range mixes {
+		casB.Values = append(casB.Values, rbs[i].MainMemCASFraction())
+		casD.Values = append(casD.Values, rds[i].MainMemCASFraction())
+		hitB.Values = append(hitB.Values, rbs[i].MemSide.HitRatio())
+		hitF.Values = append(hitF.Values, rfs[i].MemSide.HitRatio())
+		hitD.Values = append(hitD.Values, rds[i].MemSide.HitRatio())
 	}
 	for _, s := range []*Series{&casB, &casD, &hitB, &hitF, &hitD} {
 		s.Summary = stats.Mean(s.Values)
@@ -302,7 +340,7 @@ func Tab01(o Options) Figure {
 		cfg.DAPOverride = &dc
 		alts = append(alts, labeled{fmt.Sprintf("E=%.2f", e), cfg})
 	}
-	series := nws(mixes, base, alts, base)
+	series := nws(o, mixes, base, alts, base)
 	return Figure{
 		ID:     "Table I",
 		Title:  "DAP speedup vs window size W (E=0.75) and efficiency E (W=64)",
@@ -331,7 +369,7 @@ func Fig09(o Options) Figure {
 		dapCfg := base
 		dapCfg.Policy = DAP
 		mixes := sensitiveMixes(base.CPU.Cores)
-		s := nws(mixes, base, []labeled{{mm.label, dapCfg}}, base)[0]
+		s := nws(o, mixes, base, []labeled{{mm.label, dapCfg}}, base)[0]
 		series = append(series, s)
 	}
 	return Figure{
@@ -353,7 +391,7 @@ func Fig10(o Options) Figure {
 		dapCfg := base
 		dapCfg.Policy = DAP
 		mixes := sensitiveMixes(base.CPU.Cores)
-		s := nws(mixes, base, []labeled{{fmt.Sprintf("%dMB", cap/mem.MiB), dapCfg}}, base)[0]
+		s := nws(o, mixes, base, []labeled{{fmt.Sprintf("%dMB", cap/mem.MiB), dapCfg}}, base)[0]
 		series = append(series, s)
 	}
 	for _, arr := range []dram.Config{dram.HBM102(), dram.HBM128(), dram.HBM204()} {
@@ -362,7 +400,7 @@ func Fig10(o Options) Figure {
 		dapCfg := base
 		dapCfg.Policy = DAP
 		mixes := sensitiveMixes(base.CPU.Cores)
-		s := nws(mixes, base, []labeled{{arr.Name, dapCfg}}, base)[0]
+		s := nws(o, mixes, base, []labeled{{arr.Name, dapCfg}}, base)[0]
 		series = append(series, s)
 	}
 	return Figure{
@@ -378,7 +416,7 @@ func Fig11(o Options) Figure {
 	base := o.base()
 	mk := func(p Policy) Config { c := base; c.Policy = p; return c }
 	mixes := sensitiveMixes(base.CPU.Cores)
-	series := nws(mixes, base, []labeled{
+	series := nws(o, mixes, base, []labeled{
 		{"SBD", mk(SBD)},
 		{"SBD-WT", mk(SBDWT)},
 		{"BATMAN", mk(BATMAN)},
@@ -399,7 +437,7 @@ func Fig12(o Options) Figure {
 	dapCfg := base
 	dapCfg.Policy = DAP
 	mixes := workload.AllMixes(base.CPU.Cores)
-	s := nws(mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
+	s := nws(o, mixes, base, []labeled{{"DAP", dapCfg}}, base)[0]
 	return Figure{
 		ID:           "Fig. 12",
 		Title:        "DAP across all 44 workloads (12 sensitive, 5 insensitive, 27 heterogeneous)",
@@ -420,7 +458,7 @@ func Fig13(o Options) Figure {
 	dapCfg := base
 	dapCfg.Policy = DAP
 	mixes := sensitiveMixes(base.CPU.Cores)
-	s := nws(mixes, base, []labeled{{"DAP-16c", dapCfg}}, base)[0]
+	s := nws(o, mixes, base, []labeled{{"DAP-16c", dapCfg}}, base)[0]
 	return Figure{
 		ID:           "Fig. 13",
 		Title:        "DAP on a 16-core system",
@@ -440,7 +478,7 @@ func Fig14(o Options) Figure {
 	dapCfg.Policy = DAP
 
 	mixes := sensitiveMixes(base.CPU.Cores)
-	series := nws(mixes, base, []labeled{
+	series := nws(o, mixes, base, []labeled{
 		{"Alloy+BEAR", bear},
 		{"Alloy+DAP", dapCfg},
 	}, base)
@@ -451,8 +489,7 @@ func Fig14(o Options) Figure {
 		cfg   Config
 	}{{"CAS-base", base}, {"CAS-bear", bear}, {"CAS-dap", dapCfg}} {
 		s := Series{Label: v.label, Names: names, SummaryKind: "MEAN"}
-		for _, m := range mixes {
-			r := RunMix(v.cfg, m)
+		for _, r := range runMixes(o, v.cfg, mixes) {
 			s.Values = append(s.Values, r.MainMemCASFraction())
 		}
 		s.Summary = stats.Mean(s.Values)
@@ -479,22 +516,21 @@ func Fig15(o Options) Figure {
 	dap512.Policy = DAP
 
 	mixes := sensitiveMixes(base.CPU.Cores)
-	series := nws(mixes, base, []labeled{
+	series := nws(o, mixes, base, []labeled{
 		{"256MB+DAP", dap256},
 		{"512MB", base512},
 		{"512MB+DAP", dap512},
 	}, base)
 
 	names := mixNames(mixes)
+	rbs := runMixes(o, base, mixes)
 	for _, v := range []struct {
 		label string
 		cfg   Config
 	}{{"dHit-256dap", dap256}, {"dHit-512", base512}, {"dHit-512dap", dap512}} {
 		s := Series{Label: v.label, Names: names, SummaryKind: "MEAN"}
-		for _, m := range mixes {
-			rb := RunMix(base, m)
-			r := RunMix(v.cfg, m)
-			s.Values = append(s.Values, r.MemSide.HitRatio()-rb.MemSide.HitRatio())
+		for i, r := range runMixes(o, v.cfg, mixes) {
+			s.Values = append(s.Values, r.MemSide.HitRatio()-rbs[i].MemSide.HitRatio())
 		}
 		s.Summary = stats.Mean(s.Values)
 		series = append(series, s)
@@ -541,7 +577,7 @@ func AblationTechniques(o Options) Figure {
 		cfg.DAPOverride = &dc
 		return labeled{label, cfg}
 	}
-	series := nws(mixes, base, []labeled{
+	series := nws(o, mixes, base, []labeled{
 		mk("full", func(*core.Config) {}),
 		mk("-FWB", func(d *core.Config) { d.Disable.FWB = true }),
 		mk("-WB", func(d *core.Config) { d.Disable.WB = true }),
@@ -571,7 +607,7 @@ func AblationLearning(o Options) Figure {
 	return Figure{
 		ID:     "Abl. L",
 		Title:  "Window learning: raw windows (paper) vs EWMA smoothing",
-		Series: nws(mixes, base, []labeled{mk("raw", false), mk("ewma", true)}, base),
+		Series: nws(o, mixes, base, []labeled{mk("raw", false), mk("ewma", true)}, base),
 	}
 }
 
@@ -592,7 +628,7 @@ func AblationThreadAware(o Options) Figure {
 	return Figure{
 		ID:     "Abl. TA",
 		Title:  "IFRM vs thread-aware IFRM on heterogeneous mixes",
-		Series: nws(mixes, base, []labeled{{"IFRM", plain}, {"thread-aware", aware}}, base),
+		Series: nws(o, mixes, base, []labeled{{"IFRM", plain}, {"thread-aware", aware}}, base),
 	}
 }
 
@@ -610,7 +646,7 @@ func AblationReplacement(o Options) Figure {
 	return Figure{
 		ID:    "Abl. R",
 		Title: "Sector replacement policy under DAP (baseline uses NRU)",
-		Series: nws(mixes, base, []labeled{
+		Series: nws(o, mixes, base, []labeled{
 			mk("NRU", cache.NRU), mk("LRU", cache.LRU),
 			mk("SRRIP", cache.SRRIP), mk("random", cache.Rand),
 		}, base),
@@ -628,7 +664,7 @@ func AblationFootprint(o Options) Figure {
 	return Figure{
 		ID:     "Abl. F",
 		Title:  "DAP with and without the footprint prefetcher",
-		Series: nws(mixes, base, []labeled{{"footprint", with}, {"none", without}}, base),
+		Series: nws(o, mixes, base, []labeled{{"footprint", with}, {"none", without}}, base),
 	}
 }
 
@@ -657,6 +693,6 @@ func ablateDAP(o Options, what string, vals []int64, apply func(*core.Config, in
 	return Figure{
 		ID:     "Abl",
 		Title:  "DAP sensitivity: " + what,
-		Series: nws(mixes, base, alts, base),
+		Series: nws(o, mixes, base, alts, base),
 	}
 }

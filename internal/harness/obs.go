@@ -54,8 +54,7 @@ func FigBreakdown(o Options) Figure {
 		mk("q-ms$"), mk("meta-ms$"), mk("serve-ms$"),
 		mk("q-mm"), mk("meta-mm"), mk("serve-mm"),
 	}
-	for _, m := range mixes {
-		r := RunMix(cfg, m)
+	for _, r := range runMixes(o, cfg, mixes) {
 		for si, src := range []int{stats.BDSrcCache, stats.BDSrcMain} {
 			p := r.Breakdown.BySource(src)
 			series[si*3+0].Values = append(series[si*3+0].Values, p.Queue.Mean())

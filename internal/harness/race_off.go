@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Heavy test
+// sweeps consult it to shrink to race-affordable sizes (the detector slows
+// simulation-bound code by an order of magnitude).
+const raceEnabled = false

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"dap/internal/core"
 	"dap/internal/cpu"
@@ -17,6 +18,7 @@ import (
 	"dap/internal/mscache"
 	"dap/internal/obs"
 	"dap/internal/policy"
+	"dap/internal/runner"
 	"dap/internal/sim"
 	"dap/internal/stats"
 	"dap/internal/workload"
@@ -546,10 +548,17 @@ func (s *System) reseed(mix workload.Mix, seed uint64) {
 // metric plus their mean and (population) standard deviation — statistical
 // confidence for any reported number.
 func Replicate(cfg Config, mix workload.Mix, n int, metric func(Result) float64) (vals []float64, mean, std float64) {
-	for seed := 0; seed < n; seed++ {
-		r := RunSeeded(cfg, mix, uint64(seed))
-		vals = append(vals, metric(r))
-	}
+	return ReplicateParallel(1, cfg, mix, n, metric)
+}
+
+// ReplicateParallel is Replicate with the per-seed simulations fanned out
+// across up to parallel workers (<= 0 selects GOMAXPROCS). Each seed owns a
+// private system, so the per-seed values — and therefore mean and std — are
+// bit-identical to the serial run.
+func ReplicateParallel(parallel int, cfg Config, mix workload.Mix, n int, metric func(Result) float64) (vals []float64, mean, std float64) {
+	vals = runner.Map(parallel, n, func(seed int) float64 {
+		return metric(RunSeeded(cfg, mix, uint64(seed)))
+	})
 	mean = stats.Mean(vals)
 	for _, v := range vals {
 		std += (v - mean) * (v - mean)
@@ -568,30 +577,70 @@ func AloneIPC(cfg Config, spec workload.Spec) float64 {
 	return r.Cores[0].IPC()
 }
 
-// aloneCache memoizes alone IPCs per (config fingerprint, workload).
-type aloneCache struct {
-	m map[string]float64
-}
-
-func newAloneCache() *aloneCache { return &aloneCache{m: make(map[string]float64)} }
-
-func (a *aloneCache) get(cfg Config, spec workload.Spec) float64 {
-	key := fmt.Sprintf("%s|%d|%d|%v|%s", spec.Name, cfg.Arch, cfg.CPU.Cores, cfg.MeasureInstr, cfg.MainMemory.Name)
-	if v, ok := a.m[key]; ok {
-		return v
+// aloneFingerprint returns a complete textual key of every configuration
+// field that can influence a single-core alone run. It must be exhaustive:
+// the memo it keys is shared by every figure across a whole process, so two
+// configurations may only collide when the alone simulation they describe
+// is genuinely identical. Cores is normalized (AloneIPC forces one core)
+// and the two pointer fields are dereferenced — with the DAPOverride's
+// Backlog hook excluded, since that is injected per-system at Build time —
+// so that equal configurations format to equal keys.
+func aloneFingerprint(cfg Config) string {
+	cfg.CPU.Cores = 1
+	var dapOv, faults string
+	if cfg.DAPOverride != nil {
+		d := *cfg.DAPOverride
+		d.Backlog = nil
+		dapOv = fmt.Sprintf("%+v", d)
 	}
-	v := AloneIPC(cfg, spec)
-	a.m[key] = v
-	return v
+	if cfg.Faults != nil {
+		faults = fmt.Sprintf("%+v", *cfg.Faults)
+	}
+	cfg.DAPOverride = nil
+	cfg.Faults = nil
+	return fmt.Sprintf("%+v|%s|%s", cfg, dapOv, faults)
 }
 
-// WeightedSpeedupOf computes a run's weighted speedup using alone IPCs from
-// the cache (measured on cfgWeights, typically the baseline configuration).
-func (a *aloneCache) weightedSpeedup(r Result, cfgWeights Config, mix workload.Mix) float64 {
-	alone := make([]float64, len(r.Cores))
+// aloneMemo memoizes alone IPCs per (config fingerprint, workload) with
+// single-flight semantics: when two goroutines need the same alone IPC
+// concurrently, one simulates and the other blocks on the entry's Once, so
+// no simulation ever runs twice — neither within one figure nor across the
+// figures of a whole cmd/figures sweep.
+type aloneMemo struct {
+	mu sync.Mutex
+	m  map[string]*aloneEntry
+}
+
+type aloneEntry struct {
+	once sync.Once
+	v    float64
+}
+
+// alone is the process-wide memo. Sharing is safe because AloneIPC is a
+// pure function of (configuration, spec): the memoized value is identical
+// no matter which figure — or which worker goroutine — computes it first.
+var alone = &aloneMemo{m: make(map[string]*aloneEntry)}
+
+func (a *aloneMemo) get(cfg Config, spec workload.Spec) float64 {
+	key := spec.Name + "\x00" + aloneFingerprint(cfg)
+	a.mu.Lock()
+	e := a.m[key]
+	if e == nil {
+		e = &aloneEntry{}
+		a.m[key] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() { e.v = AloneIPC(cfg, spec) })
+	return e.v
+}
+
+// weightedSpeedup computes a run's weighted speedup using alone IPCs from
+// the memo (measured on cfgWeights, typically the baseline configuration).
+func (a *aloneMemo) weightedSpeedup(r Result, cfgWeights Config, mix workload.Mix) float64 {
+	aloneIPCs := make([]float64, len(r.Cores))
 	specs := resize(mix.Specs, len(r.Cores))
-	for i := range alone {
-		alone[i] = a.get(cfgWeights, specs[i])
+	for i := range aloneIPCs {
+		aloneIPCs[i] = a.get(cfgWeights, specs[i])
 	}
-	return r.WeightedSpeedup(alone)
+	return r.WeightedSpeedup(aloneIPCs)
 }

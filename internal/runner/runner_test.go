@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering: results come back in submission order at every worker
+// count, even when later jobs finish first. Run with -race (the Makefile
+// check target does) to exercise the pool's synchronization.
+func TestMapOrdering(t *testing.T) {
+	for _, parallel := range []int{0, 1, 2, 3, 8, 33} {
+		n := 64
+		got := Map(parallel, n, func(i int) int {
+			// invert completion order: early jobs sleep longest
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return i * i
+		})
+		if len(got) != n {
+			t.Fatalf("parallel=%d: got %d results, want %d", parallel, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: result[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachRunsEveryJobOnce: no job is skipped or duplicated under
+// contention.
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	n := 1000
+	counts := make([]atomic.Int32, n)
+	ForEach(16, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPanicPropagation: a worker panic is re-raised on the caller's
+// goroutine as a *WorkerPanic carrying the original value, and the
+// remaining jobs still run.
+func TestPanicPropagation(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallel=%d: panic did not propagate", parallel)
+				}
+				if parallel == 1 {
+					// serial mode panics in place with the original value
+					if r != "boom-7" {
+						t.Fatalf("serial panic value = %v, want boom-7", r)
+					}
+					return
+				}
+				wp, ok := r.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("parallel=%d: panic value %T, want *WorkerPanic", parallel, r)
+				}
+				if wp.Value != "boom-7" {
+					t.Fatalf("wrapped panic value = %v, want boom-7", wp.Value)
+				}
+				if !strings.Contains(wp.String(), "worker stack") {
+					t.Fatalf("WorkerPanic.String() missing stack: %q", wp.String())
+				}
+			}()
+			ForEach(parallel, 32, func(i int) {
+				if i == 7 {
+					panic("boom-7")
+				}
+				ran.Add(1)
+			})
+		}()
+		if parallel > 1 && ran.Load() != 31 {
+			t.Fatalf("parallel=%d: %d jobs ran, want 31 (all but the panicking one)", parallel, ran.Load())
+		}
+	}
+}
+
+// TestMapEErrorPropagation: the lowest-index error wins regardless of
+// scheduling, successful results are retained, and the index is attached.
+func TestMapEErrorPropagation(t *testing.T) {
+	sentinel := errors.New("job failed")
+	for _, parallel := range []int{1, 8} {
+		got, err := MapE(parallel, 16, func(i int) (int, error) {
+			if i == 3 || i == 11 {
+				return 0, fmt.Errorf("%w: %d", sentinel, i)
+			}
+			return i + 100, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("parallel=%d: err = %v, want wrapped sentinel", parallel, err)
+		}
+		if !strings.Contains(err.Error(), "job 3") {
+			t.Fatalf("parallel=%d: err = %v, want lowest failing index 3", parallel, err)
+		}
+		if got[0] != 100 || got[15] != 115 {
+			t.Fatalf("parallel=%d: successful results lost: %v", parallel, got)
+		}
+		if got[3] != 0 {
+			t.Fatalf("parallel=%d: failed index holds %d, want zero value", parallel, got[3])
+		}
+	}
+}
+
+// TestMapEAllJobsRun: an early error does not cancel the rest (partial
+// results stay deterministic between serial and parallel runs).
+func TestMapEAllJobsRun(t *testing.T) {
+	var ran atomic.Int32
+	_, err := MapE(4, 64, func(i int) (struct{}, error) {
+		ran.Add(1)
+		if i == 0 {
+			return struct{}{}, errors.New("first job fails")
+		}
+		return struct{}{}, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("%d jobs ran, want all 64", ran.Load())
+	}
+}
+
+// TestParallelism: the knob normalization used by every -j consumer.
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Parallelism(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Parallelism(5); got != 5 {
+		t.Fatalf("Parallelism(5) = %d", got)
+	}
+}
+
+// TestZeroAndNegativeN: degenerate job counts are no-ops.
+func TestZeroAndNegativeN(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("job ran for n=0") })
+	ForEach(4, -1, func(int) { t.Fatal("job ran for n<0") })
+	if got := Map(4, 0, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("Map n=0 returned %v", got)
+	}
+}

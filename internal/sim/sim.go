@@ -5,31 +5,82 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"dap/internal/mem"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Exactly one of fn and fnc is set: fn is a
+// plain closure, fnc receives the cycle the event runs at (AtCall), which
+// lets completion paths schedule a pre-existing func(Cycle) without
+// wrapping it in a fresh closure.
 type event struct {
 	when mem.Cycle
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   func()
+	fnc  func(mem.Cycle)
 }
 
-type eventHeap []event
+// eventQueue is a hand-rolled binary min-heap ordered by (when, seq). It
+// replaces container/heap to keep events out of interface boxes: pushing
+// through heap.Interface converts every event to `any`, costing one heap
+// allocation per scheduled event on the hottest path of the simulator.
+// Because seq is unique, (when, seq) is a total order, so any correct heap
+// pops events in exactly the same sequence — the execution order (and thus
+// every simulation result) is bit-identical to the container/heap version.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before reports strict (when, seq) ordering between two queue slots.
+func (q eventQueue) before(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// push appends an event and sifts it up to its heap position.
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+// pop removes and returns the minimum event, sifting the displaced tail
+// element down. The vacated tail slot is zeroed so the queue does not
+// retain the popped closure.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.before(r, c) {
+			c = r
+		}
+		if !h.before(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	*q = h
+	return top
+}
 
 // StallError reports a forward-progress failure: the watchdog observed no
 // progress for too many executed events, or the queue drained while the
@@ -69,7 +120,7 @@ type watchdog struct {
 type Engine struct {
 	now    mem.Cycle
 	seq    uint64
-	events eventHeap
+	events eventQueue
 
 	wd  *watchdog
 	err error
@@ -93,7 +144,20 @@ func (e *Engine) At(when mem.Cycle, fn func()) {
 		when = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	e.events.push(event{when: when, seq: e.seq, fn: fn})
+}
+
+// AtCall schedules fn to run at absolute cycle when, passing it the cycle
+// it executes at (when, after past-clamping). It exists for completion
+// paths that already hold a func(mem.Cycle): scheduling it directly avoids
+// allocating a wrapper closure per event, which matters on the DRAM
+// data-return path where every access schedules one completion.
+func (e *Engine) AtCall(when mem.Cycle, fn func(mem.Cycle)) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	e.events.push(event{when: when, seq: e.seq, fnc: fn})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -153,9 +217,13 @@ func (e *Engine) Step() bool {
 	if e.err != nil || len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.when
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.fnc(ev.when)
+	}
 	if w := e.wd; w != nil {
 		w.count++
 		if w.count >= w.batch {
