@@ -4,9 +4,9 @@
 # exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-figures runner-race obs-check trace-demo
+.PHONY: check vet build test race bench bench-cmp bench-figures runner-race obs-check telemetry-race serve-smoke trace-demo
 
-check: vet build race runner-race obs-check
+check: vet build race runner-race obs-check telemetry-race serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +25,20 @@ race:
 obs-check:
 	$(GO) vet ./internal/obs/...
 	$(GO) test -race ./internal/obs/... -run . -count=1
-	$(GO) test -race ./internal/harness/ -run 'TestObservability|TestObsConfig' -count=1
+	$(GO) test -race ./internal/harness/ -run 'TestObservability|TestObsConfig|TestServe' -count=1
+
+# telemetry-race exercises the live telemetry service under the race
+# detector: 8 concurrent publishers against a scraping /metrics loop, the
+# SSE stream, run-registry lifecycle, and the Prometheus golden file.
+telemetry-race:
+	$(GO) vet ./internal/telemetry/...
+	$(GO) test -race ./internal/telemetry/... -count=1
+
+# serve-smoke boots `dapsim -serve` on a random port (race detector on),
+# curls /healthz and /metrics, asserts the DAP credit and runner pool
+# families are exposed, and checks clean shutdown on SIGINT.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # runner-race exercises the worker pool and the parallel experiment drivers
 # under the race detector: the full runner suite (ordering, panic/error
@@ -49,6 +62,13 @@ bench:
 
 bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-cmp gates a bench report against a baseline: prints the per-benchmark
+# delta table and exits non-zero when any shared benchmark regressed by more
+# than 10% in ns/op or allocs/op.
+#   make bench-cmp BASE=BENCH_PR3.json HEAD=BENCH_HEAD.json
+bench-cmp:
+	$(GO) run ./cmd/benchcmp $(BASE) $(HEAD)
 
 # trace-demo produces a small end-to-end observability artifact set: a
 # Perfetto-loadable Chrome trace of L3-miss lifecycles and a per-window

@@ -1,0 +1,150 @@
+// Command benchcmp compares two BENCH_*.json reports (the machine-readable
+// output of cmd/benchjson) and acts as the regression gate of the bench
+// workflow: it prints a per-benchmark delta table and exits non-zero when
+// any shared benchmark regressed by more than the threshold in ns/op or
+// allocs/op.
+//
+//	go run ./cmd/benchcmp BENCH_BASE.json BENCH_HEAD.json
+//	go run ./cmd/benchcmp -threshold 5 old.json new.json
+//	make bench-cmp BASE=BENCH_PR3.json HEAD=BENCH_HEAD.json
+//
+// Benchmarks present in only one file are reported but never gate; noise on
+// sub-threshold deltas is tolerated by design (the default gate is 10%).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+type entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Note       string  `json:"note,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code returned instead of called, so the gate
+// logic is testable: 0 = within threshold, 1 = regression (or bad input),
+// 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "regression gate in percent: fail when ns/op or allocs/op grows by more than this")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcmp [-threshold pct] BASE.json HEAD.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		if err == nil {
+			fs.Usage()
+		}
+		return 2
+	}
+	base, err := load(fs.Arg(0))
+	if err == nil {
+		var head report
+		head, err = load(fs.Arg(1))
+		if err == nil {
+			return compare(base, head, fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+	return 1
+}
+
+func compare(base, head report, basePath, headPath string, threshold float64, stdout, stderr io.Writer) int {
+	baseBy := make(map[string]entry, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	headBy := make(map[string]entry, len(head.Benchmarks))
+	for _, h := range head.Benchmarks {
+		headBy[h.Name] = h
+	}
+
+	fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op)\n\n",
+		basePath, headPath, threshold)
+	fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "Δns/op", "Δallocs")
+
+	regressions := 0
+	for _, b := range base.Benchmarks { // base order keeps the table stable
+		h, ok := headBy[b.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  (removed)\n", b.Name, fmtNs(b.NsPerOp), "-", "-", "-")
+			continue
+		}
+		dns := pctDelta(b.NsPerOp, h.NsPerOp)
+		dallocs := pctDelta(b.AllocsPerOp, h.AllocsPerOp)
+		mark := ""
+		if dns > threshold || dallocs > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s%s\n",
+			b.Name, fmtNs(b.NsPerOp), fmtNs(h.NsPerOp), fmtPct(dns), fmtPct(dallocs), mark)
+	}
+	for _, h := range head.Benchmarks {
+		if _, ok := baseBy[h.Name]; !ok {
+			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  (new)\n", h.Name, "-", fmtNs(h.NsPerOp), "-", "-")
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "\nbenchcmp: %d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nbenchcmp: no regression beyond %.0f%%\n", threshold)
+	return 0
+}
+
+// pctDelta returns the head-over-base growth in percent; a zero or absent
+// base yields 0 (a metric appearing from nothing is not a measurable
+// regression — allocs_per_op is omitempty in the report schema).
+func pctDelta(base, head float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (head - base) / base * 100
+}
+
+func fmtNs(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return r, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runFixture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRegressionGate is the acceptance check: a synthetic 2x ns/op (and 3x
+// allocs/op) regression must fail the gate with a non-zero exit.
+func TestRegressionGate(t *testing.T) {
+	base := filepath.Join("testdata", "base.json")
+	head := filepath.Join("testdata", "head_regressed.json")
+	code, stdout, stderr := runFixture(t, base, head)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "2 benchmark(s) regressed") {
+		t.Errorf("stderr missing regression count: %q", stderr)
+	}
+	for _, want := range []string{
+		"BenchmarkEngineEventLoop", "REGRESSION",
+		"BenchmarkRemovedInHead", "(removed)",
+		"BenchmarkNewInHead", "(new)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("table missing %q\n%s", want, stdout)
+		}
+	}
+	// The unregressed benchmark must not be flagged.
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.Contains(line, "BenchmarkEndToEndQuickRun") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("EndToEndQuickRun wrongly flagged: %s", line)
+		}
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	code, stdout, stderr := runFixture(t,
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_ok.json"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "no regression") {
+		t.Errorf("missing pass line:\n%s", stdout)
+	}
+}
+
+// TestThresholdFlag verifies the gate moves with -threshold: the ok fixture
+// has a ~4.6% ns/op growth that a 2% gate must catch.
+func TestThresholdFlag(t *testing.T) {
+	code, _, _ := runFixture(t, "-threshold", "2",
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_ok.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 with -threshold 2", code)
+	}
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := runFixture(t, "only-one.json"); code != 2 {
+		t.Errorf("one arg: exit = %d, want 2", code)
+	}
+	if code, _, stderr := runFixture(t, "no-such.json", "no-such-either.json"); code != 1 || stderr == "" {
+		t.Errorf("missing files: exit = %d (stderr %q), want 1 with message", code, stderr)
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	for _, tc := range []struct {
+		base, head, want float64
+	}{
+		{100, 200, 100},
+		{100, 110, 10},
+		{100, 90, -10},
+		{0, 5, 0}, // metric absent in base: not gateable
+	} {
+		if got := pctDelta(tc.base, tc.head); got != tc.want {
+			t.Errorf("pctDelta(%v, %v) = %v, want %v", tc.base, tc.head, got, tc.want)
+		}
+	}
+}

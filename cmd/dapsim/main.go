@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"syscall"
+	"time"
 
 	"dap"
 	"dap/internal/mem"
@@ -50,8 +55,26 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write the sampled metric series as CSV to this file (default stdout when sampling)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		serveAddr    = flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address (e.g. :8080, :0 = any free port); keeps serving after the run until interrupted")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		srv, bound, err := dap.Serve(*serveAddr)
+		fatalIf(err)
+		fmt.Printf("telemetry: serving on http://%s\n", bound)
+		defer func() {
+			fmt.Println("telemetry: run complete; serving until interrupt (Ctrl-C)")
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			<-ctx.Done()
+			stop()
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dapsim: telemetry shutdown: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("workloads (rate mode):")
@@ -198,7 +221,7 @@ func main() {
 		fatalIf(pprof.WriteHeapProfile(f))
 		fatalIf(f.Close())
 	}
-	writeArtifacts(r, *tracePath, *metricsOut, *asJSON)
+	writeArtifacts(r, *tracePath, *metricsOut, *asJSON, exportStamp(cfg, mix.Name, *seed))
 
 	if *asJSON {
 		reportJSON(r, mix.Name, *arch, *policy, header)
@@ -210,10 +233,21 @@ func main() {
 	}
 }
 
+// exportStamp renders the self-describing provenance header stamped onto
+// metrics exports: workload, seed, configuration fingerprint, build version.
+// A file carrying this line can always be traced back to the exact run that
+// produced it.
+func exportStamp(cfg dap.Config, mixName string, seed uint64) string {
+	return fmt.Sprintf("mix=%s seed=%d fingerprint=%s version=%s",
+		mixName, seed, dap.ConfigFingerprint(cfg), dap.BuildVersion())
+}
+
 // writeArtifacts persists the observability outputs: the Chrome trace JSON
-// and the sampled metric series (CSV to a file, or to stdout in text mode
-// when no -metrics-out was given).
-func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool) {
+// and the sampled metric series (to a file, or to stdout in text mode when
+// no -metrics-out was given). A `.jsonl`/`.json` suffix selects JSON Lines —
+// with the provenance stamp as a leading {"header": ...} object — over CSV,
+// which carries the stamp as a leading `# ...` comment line.
+func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool, stamp string) {
 	if tracePath != "" && r.Trace != nil {
 		f, err := os.Create(tracePath)
 		fatalIf(err)
@@ -231,7 +265,15 @@ func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool) {
 	case metricsOut != "":
 		f, err := os.Create(metricsOut)
 		fatalIf(err)
-		fatalIf(r.Metrics.WriteCSV(f))
+		if strings.HasSuffix(metricsOut, ".jsonl") || strings.HasSuffix(metricsOut, ".json") {
+			hdr, err := json.Marshal(stamp)
+			fatalIf(err)
+			fmt.Fprintf(f, "{\"header\":%s}\n", hdr)
+			fatalIf(r.Metrics.WriteJSONL(f))
+		} else {
+			fmt.Fprintf(f, "# %s\n", stamp)
+			fatalIf(r.Metrics.WriteCSV(f))
+		}
 		fatalIf(f.Close())
 		if !asJSON {
 			fmt.Printf("metrics: %d windows -> %s (dropped %d)\n",
@@ -239,6 +281,7 @@ func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool) {
 		}
 	case !asJSON:
 		fmt.Println("metrics (CSV):")
+		fmt.Printf("# %s\n", stamp)
 		fatalIf(r.Metrics.WriteCSV(os.Stdout))
 	}
 }

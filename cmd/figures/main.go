@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dap"
@@ -47,7 +50,26 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1)")
 	chart := flag.Bool("chart", false, "also render each figure's first series as an ASCII bar chart")
 	jobs := flag.Int("j", 0, "max concurrent simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address while the sweep runs; keeps serving after it until interrupted")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		srv, bound, err := dap.Serve(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: serving on http://%s\n", bound)
+		defer func() {
+			fmt.Println("telemetry: sweep complete; serving until interrupt (Ctrl-C)")
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			<-ctx.Done()
+			stop()
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -29,6 +29,7 @@ import (
 	"dap/internal/obs"
 	"dap/internal/sim"
 	"dap/internal/stats"
+	"dap/internal/telemetry"
 	"dap/internal/workload"
 )
 
@@ -253,3 +254,32 @@ func OptimalFractions(bandwidths []float64) []float64 {
 
 // GeoMean aggregates normalized speedups the way the paper reports GMEAN.
 func GeoMean(vs []float64) float64 { return stats.GeoMean(vs) }
+
+// TelemetryServer is the live monitoring HTTP service behind `dapsim -serve`
+// and `figures -serve`: Prometheus-text /metrics, /runs JSON, a per-run SSE
+// stream, an embedded dashboard, /healthz and /debug/pprof.
+type TelemetryServer = telemetry.Server
+
+// Serve starts the process-wide telemetry service on addr (host:port; port 0
+// picks a free one) and returns the server plus the bound address. Every
+// simulation in the process registers itself automatically; publishing is
+// lock-free and read-only, so serving telemetry never perturbs results.
+func Serve(addr string) (*TelemetryServer, string, error) {
+	srv := telemetry.NewServer(telemetry.Default, telemetry.Runs)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// ConfigFingerprint condenses a configuration into a short stable hex token
+// covering every behavior-affecting field. Telemetry stamps it on each
+// registered run and each metrics export: two artifacts carry the same
+// fingerprint if and only if their configurations were identical.
+func ConfigFingerprint(cfg Config) string { return harness.Fingerprint(cfg) }
+
+// BuildVersion reports the git revision this binary was built from (a short
+// hash, "+dirty" when the tree was modified, or "dev" without VCS info); it
+// is stamped on metrics exports and the /healthz endpoint.
+func BuildVersion() string { return telemetry.Version() }

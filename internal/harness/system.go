@@ -6,6 +6,8 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -21,6 +23,7 @@ import (
 	"dap/internal/runner"
 	"dap/internal/sim"
 	"dap/internal/stats"
+	"dap/internal/telemetry"
 	"dap/internal/workload"
 )
 
@@ -47,6 +50,20 @@ const (
 	SBDWT
 	BATMAN
 )
+
+func (a Arch) String() string {
+	switch a {
+	case SectoredDRAM:
+		return "sectored"
+	case AlloyCache:
+		return "alloy"
+	case SectoredEDRAM:
+		return "edram"
+	case NoMSCache:
+		return "none"
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
 
 func (p Policy) String() string {
 	switch p {
@@ -247,6 +264,9 @@ type System struct {
 	edram    *mscache.EDRAM
 	inj      *faultinject.Injector
 	counts   *reqCounter
+
+	mixName string
+	seed    uint64
 }
 
 // Build assembles a system for the given mix.
@@ -255,7 +275,7 @@ func Build(cfg Config, mix workload.Mix) *System {
 		// allow rate mixes authored for a different core count
 		mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, cfg.CPU.Cores)}
 	}
-	s := &System{Cfg: cfg, Eng: sim.New()}
+	s := &System{Cfg: cfg, Eng: sim.New(), mixName: mix.Name}
 	s.MM = dram.NewDevice(cfg.MainMemory, s.Eng)
 	s.Part = core.Nop{}
 
@@ -414,6 +434,32 @@ func (s *System) Run() Result {
 	}
 
 	start := s.Eng.Now()
+	limit := cfg.MaxCycles
+	if limit == 0 {
+		limit = mem.Cycle(400 * cfg.MeasureInstr) // far beyond any plausible CPI
+	}
+
+	// Register the run with the process-wide telemetry layer. Registration,
+	// per-window publication and the final Finish are all strict observers:
+	// they copy already-computed values behind lock-free handles, so a
+	// scraped run stays bit-identical to an unobserved one (the telemetry
+	// variant of TestObservabilityIsBitIdentical enforces this).
+	run := telemetry.Runs.Start(telemetry.RunInfo{
+		Mix:         s.mixName,
+		Arch:        cfg.Arch.String(),
+		Policy:      cfg.Policy.String(),
+		Fingerprint: Fingerprint(cfg),
+		Seed:        s.seed,
+		Horizon:     uint64(limit),
+	})
+	if s.Metrics != nil {
+		run.SetColumns(s.Metrics.Names())
+		s.Metrics.OnWindow(func(w obs.Window) {
+			run.Progress(uint64(w.Cycle - start))
+			run.Publish(uint64(w.Cycle), w.Values)
+		})
+	}
+
 	s.CPU.Start(cfg.MeasureInstr)
 	if s.Metrics != nil {
 		s.Metrics.Start()
@@ -429,10 +475,6 @@ func (s *System) Run() Result {
 	}
 	if s.inj != nil && s.dap != nil {
 		s.inj.ArmCreditFault(s.Eng.After, s.dap)
-	}
-	limit := cfg.MaxCycles
-	if limit == 0 {
-		limit = mem.Cycle(400 * cfg.MeasureInstr) // far beyond any plausible CPI
 	}
 	s.Eng.RunWhile(func() bool {
 		return !s.CPU.Done() && s.Eng.Now()-start < limit
@@ -465,6 +507,17 @@ func (s *System) Run() Result {
 	mmStats := s.MM.Stats()
 	r.MainMemCAS = mmStats.CAS()
 	r.DeliveredGBps = mem.GBPerSec((r.MSCacheCAS+r.MainMemCAS)*mem.LineBytes, r.Cycles)
+
+	run.Progress(uint64(r.Cycles))
+	var aggIPC float64
+	for i := range r.Cores {
+		aggIPC += r.Cores[i].IPC()
+	}
+	run.Finish(r.Abort, map[string]float64{
+		"ipc":            aggIPC,
+		"cycles":         float64(r.Cycles),
+		"delivered_gbps": r.DeliveredGBps,
+	})
 	return r
 }
 
@@ -535,6 +588,7 @@ func RunSeededE(cfg Config, mix workload.Mix, seed uint64) (Result, error) {
 }
 
 func (s *System) reseed(mix workload.Mix, seed uint64) {
+	s.seed = seed
 	if seed == 0 {
 		return
 	}
@@ -587,6 +641,14 @@ func AloneIPC(cfg Config, spec workload.Spec) float64 {
 // so that equal configurations format to equal keys.
 func aloneFingerprint(cfg Config) string {
 	cfg.CPU.Cores = 1
+	return cfgKey(cfg)
+}
+
+// cfgKey renders every behavior-affecting configuration field into one
+// textual key, dereferencing the pointer fields (with the DAPOverride's
+// per-system Backlog hook excluded) so equal configurations format to
+// equal keys.
+func cfgKey(cfg Config) string {
 	var dapOv, faults string
 	if cfg.DAPOverride != nil {
 		d := *cfg.DAPOverride
@@ -599,6 +661,18 @@ func aloneFingerprint(cfg Config) string {
 	cfg.DAPOverride = nil
 	cfg.Faults = nil
 	return fmt.Sprintf("%+v|%s|%s", cfg, dapOv, faults)
+}
+
+// Fingerprint condenses a configuration into a short stable hex token —
+// the same field coverage as the alone-run memo key, hashed down for
+// display. Telemetry stamps it on every registered run and every metrics
+// export so an artifact can be traced back to the exact configuration
+// that produced it: two files carry the same fingerprint if and only if
+// their configurations were identical.
+func Fingerprint(cfg Config) string {
+	h := fnv.New64a()
+	io.WriteString(h, cfgKey(cfg))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // aloneMemo memoizes alone IPCs per (config fingerprint, workload) with

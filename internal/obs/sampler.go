@@ -49,6 +49,13 @@ type Sampler struct {
 
 	probes []probe
 
+	// Window subscribers (OnWindow). The previous tick's raw readings are
+	// kept so each closed window's exported values (deltas/rates applied)
+	// can be handed out as they happen, not just at end of run.
+	subs     []func(Window)
+	lastTime mem.Cycle
+	lastRow  []float64
+
 	// Ring buffer of sampled rows. base holds the raw readings taken just
 	// before the oldest retained row (the Start snapshot initially, then
 	// each evicted row), so CounterKind/UtilKind deltas survive wrap-around.
@@ -119,6 +126,31 @@ func (s *Sampler) UtilScaled(name string, scale float64, fn func() uint64) {
 	s.register(name, UtilKind, scale, func() float64 { return float64(fn()) })
 }
 
+// Window is one closed sampling window as delivered to OnWindow
+// subscribers: the cycle the window closed at and the exported per-probe
+// values in registration order, with counter deltas and per-cycle rates
+// already applied (the same values WriteCSV/WriteJSONL would emit for the
+// window). The Values slice is freshly allocated per window; subscribers
+// own it.
+type Window struct {
+	Cycle  mem.Cycle
+	Values []float64
+}
+
+// OnWindow registers fn to be called at the close of every sampling window,
+// on the simulation goroutine, with that window's exported values. It is
+// the live fan-out path behind the telemetry layer: fn must be a strict
+// observer — it may copy values out (e.g. atomically publish them to an
+// HTTP scrape path or push them to subscribers) but must never mutate
+// simulated state or block. Like probes, subscribers must be registered
+// before Start.
+func (s *Sampler) OnWindow(fn func(Window)) {
+	if s.started {
+		panic("obs: OnWindow registered after Sampler.Start")
+	}
+	s.subs = append(s.subs, fn)
+}
+
 // Names returns the registered probe names in registration (column) order.
 func (s *Sampler) Names() []string {
 	out := make([]string, len(s.probes))
@@ -138,6 +170,7 @@ func (s *Sampler) Start() {
 	s.started = true
 	s.baseTime = s.now()
 	s.base = s.read()
+	s.lastTime, s.lastRow = s.baseTime, s.base
 	s.after(s.every, s.tick)
 }
 
@@ -170,6 +203,15 @@ func (s *Sampler) tick() {
 	}
 	s.after(s.every, s.tick)
 	t, row := s.now(), s.read()
+	if len(s.subs) > 0 {
+		vals := make([]float64, len(s.probes))
+		s.exportRow(s.lastTime, s.lastRow, t, row, vals)
+		w := Window{Cycle: t, Values: vals}
+		for _, fn := range s.subs {
+			fn(w)
+		}
+		s.lastTime, s.lastRow = t, row
+	}
 	if s.n < s.cap {
 		s.times = append(s.times, t)
 		s.rows = append(s.rows, row)
@@ -184,6 +226,26 @@ func (s *Sampler) tick() {
 	s.dropped++
 }
 
+// exportRow computes one window's exported values from consecutive raw
+// readings: counter deltas, per-cycle rates, or raw gauges per probe kind.
+func (s *Sampler) exportRow(prevT mem.Cycle, prev []float64, t mem.Cycle, row, vals []float64) {
+	dt := float64(t - prevT)
+	for j := range s.probes {
+		switch s.probes[j].kind {
+		case CounterKind:
+			vals[j] = (row[j] - prev[j]) * s.probes[j].scale
+		case UtilKind:
+			if dt > 0 {
+				vals[j] = (row[j] - prev[j]) / dt * s.probes[j].scale
+			} else {
+				vals[j] = 0
+			}
+		default:
+			vals[j] = row[j] * s.probes[j].scale
+		}
+	}
+}
+
 // export walks the retained rows oldest-first, yielding the sample time and
 // the per-probe exported values (deltas/rates already applied).
 func (s *Sampler) export(emit func(t mem.Cycle, vals []float64)) {
@@ -192,21 +254,7 @@ func (s *Sampler) export(emit func(t mem.Cycle, vals []float64)) {
 	for i := 0; i < s.n; i++ {
 		idx := (s.head + i) % s.cap
 		t, row := s.times[idx], s.rows[idx]
-		dt := float64(t - prevT)
-		for j := range s.probes {
-			switch s.probes[j].kind {
-			case CounterKind:
-				vals[j] = (row[j] - prev[j]) * s.probes[j].scale
-			case UtilKind:
-				if dt > 0 {
-					vals[j] = (row[j] - prev[j]) / dt * s.probes[j].scale
-				} else {
-					vals[j] = 0
-				}
-			default:
-				vals[j] = row[j] * s.probes[j].scale
-			}
-		}
+		s.exportRow(prevT, prev, t, row, vals)
 		emit(t, vals)
 		prevT, prev = t, row
 	}

@@ -1,0 +1,292 @@
+// Package telemetry turns the simulator into a monitorable service: a
+// thread-safe Prometheus-text metrics Registry that simulation threads
+// publish into through lock-free handles, a RunRegistry tracking the
+// lifecycle and live window series of every simulation in the process, and
+// an embedded HTTP server exposing /metrics, /runs JSON, an SSE stream per
+// run, /healthz and /debug/pprof plus a small embedded dashboard.
+//
+// The design constraint inherited from internal/obs is strict
+// non-perturbation: a simulation publishes values it has already computed,
+// through pre-acquired handles whose hot path is a single atomic store (no
+// locks, no channels, no allocation), and nothing on the scrape side can
+// ever feed back into simulated state. Runs with telemetry enabled stay
+// bit-identical to runs without — the same bar as the sampler and auditor,
+// and enforced by the same determinism tests.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the Prometheus metric type of a family.
+type Kind uint8
+
+// Metric kinds.
+const (
+	CounterKind Kind = iota
+	GaugeKind
+)
+
+func (k Kind) String() string {
+	if k == CounterKind {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Label is one name="value" pair on a series.
+type Label struct {
+	Key, Value string
+}
+
+// Series is one labeled time series inside a family. Its hot-path methods
+// (Set, Add, Inc) are single atomic operations on a float64 bit pattern:
+// safe from any goroutine, never blocking, never allocating — the lock-free
+// publish path simulation threads use.
+type Series struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (gauges).
+func (s *Series) Set(v float64) {
+	if s == nil {
+		return
+	}
+	s.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v (counters; also usable on gauges for +/- deltas).
+func (s *Series) Add(v float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (s *Series) Inc() { s.Add(1) }
+
+// Value reads the current value.
+func (s *Series) Value() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// family is one named metric with its labeled series.
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*Series // keyed by rendered label signature
+}
+
+// Emit is the callback a scrape-time Collector pushes dynamic series
+// through; name must already be a valid metric name (see Sanitize).
+type Emit func(name, help string, kind Kind, labels []Label, v float64)
+
+// Collector produces series at scrape time — used for values that live in
+// another structure (e.g. each registered run's latest sampler window)
+// rather than being pushed continuously.
+type Collector func(emit Emit)
+
+// Registry is a thread-safe collection of metric families rendered in the
+// Prometheus text exposition format. Handle acquisition (Counter/Gauge)
+// takes a lock; publishing on the returned *Series does not.
+type Registry struct {
+	mu         sync.RWMutex
+	fams       map[string]*family
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the runner pool, the harness auditor
+// and the run registry publish into; the -serve HTTP endpoint scrapes it.
+var Default = NewRegistry()
+
+// Counter returns (creating on first use) the counter series name{labels}.
+// The name must be a valid Prometheus metric name (see Sanitize); labels
+// are rendered in the order given.
+func (r *Registry) Counter(name, help string, labels ...Label) *Series {
+	return r.get(name, help, CounterKind, labels)
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Series {
+	return r.get(name, help, GaugeKind, labels)
+}
+
+// RegisterCollector adds a scrape-time collector.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+func (r *Registry) get(name, help string, kind Kind, labels []Label) *Series {
+	sig := labelSig(labels)
+	r.mu.RLock()
+	f := r.fams[name]
+	var s *Series
+	if f != nil && f.kind == kind {
+		s = f.series[sig]
+	}
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*Series)}
+		r.fams[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	s = f.series[sig]
+	if s == nil {
+		s = &Series{}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// labelSig renders labels as the {k="v",...} suffix (empty for none).
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Sanitize maps an arbitrary dotted probe name (e.g. "dap.credit.fwb",
+// "mm.c0.util") onto a valid Prometheus metric name ("dap_credit_fwb").
+func Sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every family — static series plus collector
+// output — in the text exposition format with stable ordering: families
+// sorted by name, each preceded by its HELP/TYPE lines, series sorted by
+// label signature.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type row struct {
+		sig string
+		val float64
+	}
+	type fam struct {
+		help string
+		kind Kind
+		rows []row
+	}
+	out := make(map[string]*fam)
+
+	r.mu.RLock()
+	for name, f := range r.fams {
+		o := &fam{help: f.help, kind: f.kind}
+		for sig, s := range f.series {
+			o.rows = append(o.rows, row{sig, s.Value()})
+		}
+		out[name] = o
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	emit := func(name, help string, kind Kind, labels []Label, v float64) {
+		o := out[name]
+		if o == nil {
+			o = &fam{help: help, kind: kind}
+			out[name] = o
+		}
+		o.rows = append(o.rows, row{labelSig(labels), v})
+	}
+	for _, c := range collectors {
+		c(emit)
+	}
+
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		o := out[name]
+		if o.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(o.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, o.kind)
+		sort.Slice(o.rows, func(i, j int) bool { return o.rows[i].sig < o.rows[j].sig })
+		for _, rw := range o.rows {
+			fmt.Fprintf(bw, "%s%s %s\n", name, rw.sig, formatProm(rw.val))
+		}
+	}
+	return bw.Flush()
+}
+
+// formatProm renders a sample value the way Prometheus expects.
+func formatProm(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

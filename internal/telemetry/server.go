@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// Version returns the binary's VCS identity ("<short-rev>[+dirty]") from
+// the embedded build info, or "dev" when built without VCS stamping. It is
+// the `version` field of /healthz and of exported metrics-file headers.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Server is the embedded telemetry HTTP service: Prometheus /metrics, the
+// run inventory as JSON, a live SSE window stream per run with an embedded
+// dashboard, /healthz, and /debug/pprof.
+type Server struct {
+	Metrics *Registry
+	Runs    *RunRegistry
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	lis     net.Listener
+	started time.Time
+}
+
+// NewServer builds a server over the given registries (pass Default and
+// Runs for the process-wide ones).
+func NewServer(metrics *Registry, runs *RunRegistry) *Server {
+	return &Server{Metrics: metrics, Runs: runs, started: time.Now()}
+}
+
+// Handler returns the full route mux (usable directly under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in the background,
+// returning the bound address. Call Shutdown to stop.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.lis, s.httpSrv = lis, srv
+	s.mu.Unlock()
+	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Shutdown
+	return lis.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the server (no-op if never started).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"version":        Version(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"active_runs":    s.Runs.ActiveCount(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics.WritePrometheus(w) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Runs.Snapshots())
+}
+
+func (s *Server) runFromPath(w http.ResponseWriter, r *http.Request) *Run {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return nil
+	}
+	run := s.Runs.Get(id)
+	if run == nil {
+		http.Error(w, "no such run (it may have been evicted)", http.StatusNotFound)
+	}
+	return run
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run := s.runFromPath(w, r)
+	if run == nil {
+		return
+	}
+	writeJSON(w, run.snapshot(true))
+}
+
+// handleStream serves the SSE window stream: a `meta` event carrying the
+// run snapshot and column names, one `window` event per sampler window
+// (ring history replayed first, then live), and a closing `done` event with
+// the final snapshot. Slow consumers drop windows rather than ever
+// back-pressuring the simulation.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run := s.runFromPath(w, r)
+	if run == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	meta := run.snapshot(false)
+	meta.Columns = run.Columns()
+	sendEvent(w, "meta", meta)
+	fl.Flush()
+
+	history, live, cancel := run.Subscribe()
+	defer cancel()
+	for _, win := range history {
+		sendEvent(w, "window", win)
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case win, ok := <-live:
+			if !ok {
+				sendEvent(w, "done", run.snapshot(false))
+				fl.Flush()
+				return
+			}
+			sendEvent(w, "window", win)
+			// Drain whatever else is already buffered before flushing, so a
+			// fast publisher does not force one flush per window.
+			for {
+				select {
+				case more, ok := <-live:
+					if !ok {
+						sendEvent(w, "done", run.snapshot(false))
+						fl.Flush()
+						return
+					}
+					sendEvent(w, "window", more)
+					continue
+				default:
+				}
+				break
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func sendEvent(w http.ResponseWriter, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}

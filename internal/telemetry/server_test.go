@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestService() (*Registry, *RunRegistry, *httptest.Server) {
+	reg := NewRegistry()
+	runs := NewRunRegistry(reg)
+	return reg, runs, httptest.NewServer(NewServer(reg, runs).Handler())
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	_, runs, ts := newTestService()
+	defer ts.Close()
+
+	run := runs.Start(RunInfo{Mix: "mcf", Arch: "sectored", Policy: "dap", Seed: 3, Horizon: 1_000_000, Fingerprint: "abcd1234"})
+	run.SetColumns([]string{"core0.ipc", "dap.credit.fwb"})
+	run.Publish(1000, []float64{1.25, 32})
+	run.Progress(1000)
+
+	for _, path := range []string{"/", "/healthz", "/metrics", "/runs", fmt.Sprintf("/runs/%d", run.ID), "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// /metrics carries the per-run collector output.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`dap_credit_fwb{run="1",mix="mcf"} 32`,
+		`core0_ipc{run="1",mix="mcf"} 1.25`,
+		`sim_run_progress_cycles{run="1",mix="mcf"} 1000`,
+		"sim_runs_started_total 1",
+		"# TYPE sim_runs_started_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /runs/{id} detail includes columns and the window series.
+	var snap RunSnapshot
+	getJSON(t, ts.URL+fmt.Sprintf("/runs/%d", run.ID), &snap)
+	if len(snap.Columns) != 2 || len(snap.Series) != 1 || snap.Series[0].Cycle != 1000 {
+		t.Fatalf("detail snapshot: %+v", snap)
+	}
+	if snap.State != "running" || snap.RunInfo.Fingerprint != "abcd1234" {
+		t.Fatalf("detail snapshot identity: %+v", snap)
+	}
+
+	// unknown run -> 404, bad id -> 400
+	if r2, _ := http.Get(ts.URL + "/runs/999"); r2.StatusCode != 404 {
+		t.Errorf("missing run: status %d", r2.StatusCode)
+	}
+	if r3, _ := http.Get(ts.URL + "/runs/zzz"); r3.StatusCode != 400 {
+		t.Errorf("bad id: status %d", r3.StatusCode)
+	}
+}
+
+// TestSSEStream subscribes to a run's stream and checks the full event
+// sequence: meta (with columns), replayed history, live windows, done.
+func TestSSEStream(t *testing.T) {
+	_, runs, ts := newTestService()
+	defer ts.Close()
+
+	run := runs.Start(RunInfo{Mix: "mcf", Policy: "dap", Horizon: 10_000})
+	run.SetColumns([]string{"core0.ipc"})
+	run.Publish(100, []float64{1.0}) // history before the client connects
+
+	resp, err := http.Get(ts.URL + fmt.Sprintf("/runs/%d/stream", run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan [2]string, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var ev string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				events <- [2]string{ev, strings.TrimPrefix(line, "data: ")}
+			}
+		}
+	}()
+
+	next := func() [2]string {
+		select {
+		case e, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			return e
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for SSE event")
+		}
+		return [2]string{}
+	}
+
+	if e := next(); e[0] != "meta" || !strings.Contains(e[1], `"core0.ipc"`) {
+		t.Fatalf("first event = %v, want meta with columns", e)
+	}
+	if e := next(); e[0] != "window" || !strings.Contains(e[1], `"cycle":100`) {
+		t.Fatalf("second event = %v, want replayed window @100", e)
+	}
+
+	// live windows published after connect
+	run.Publish(200, []float64{1.1})
+	run.Publish(300, []float64{1.2})
+	if e := next(); e[0] != "window" || !strings.Contains(e[1], `"cycle":200`) {
+		t.Fatalf("live event = %v, want window @200", e)
+	}
+	if e := next(); e[0] != "window" || !strings.Contains(e[1], `"cycle":300`) {
+		t.Fatalf("live event = %v, want window @300", e)
+	}
+
+	run.Finish(nil, map[string]float64{"agg_ipc": 1.2})
+	e := next()
+	if e[0] != "done" {
+		t.Fatalf("final event = %v, want done", e)
+	}
+	var snap RunSnapshot
+	if err := json.Unmarshal([]byte(e[1]), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != "done" || snap.Summary["agg_ipc"] != 1.2 {
+		t.Fatalf("done snapshot: %+v", snap)
+	}
+
+	// A finished run still streams: history replay then immediate done.
+	resp2, err := http.Get(ts.URL + fmt.Sprintf("/runs/%d/stream", run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc := bufio.NewScanner(resp2.Body)
+	var seq []string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: ") {
+			seq = append(seq, strings.TrimPrefix(sc.Text(), "event: "))
+		}
+	}
+	want := []string{"meta", "window", "window", "window", "done"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("replay sequence = %v, want %v", seq, want)
+	}
+}
+
+func TestRunRegistryEviction(t *testing.T) {
+	reg := NewRegistry()
+	runs := NewRunRegistry(reg)
+	var last *Run
+	for i := 0; i < recentCap+10; i++ {
+		last = runs.Start(RunInfo{Mix: fmt.Sprintf("m%d", i)})
+		last.Finish(nil, nil)
+	}
+	if runs.Get(1) != nil {
+		t.Error("oldest run should be evicted")
+	}
+	if runs.Get(last.ID) == nil {
+		t.Error("newest run should be retained")
+	}
+	if n := len(runs.Snapshots()); n != recentCap {
+		t.Errorf("retained %d runs, want %d", n, recentCap)
+	}
+	if got := reg.Counter("sim_runs_finished_total", "").Value(); got != float64(recentCap+10) {
+		t.Errorf("finished counter = %v", got)
+	}
+}
+
+func TestRunAbortState(t *testing.T) {
+	_, runs, ts := newTestService()
+	defer ts.Close()
+	run := runs.Start(RunInfo{Mix: "mcf"})
+	run.Finish(fmt.Errorf("sim: stalled at cycle 99"), nil)
+	var snap RunSnapshot
+	getJSON(t, ts.URL+fmt.Sprintf("/runs/%d", run.ID), &snap)
+	if snap.State != "aborted" || !strings.Contains(snap.Abort, "stalled") {
+		t.Fatalf("abort snapshot: %+v", snap)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

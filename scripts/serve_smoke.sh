@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the live telemetry service.
+#
+# Builds dapsim (race detector on), starts it with -serve on a random port,
+# waits for the replicated quick run to finish, asserts that /healthz and
+# /metrics answer 200 and that the metric families the dashboard depends on
+# (DAP credit gauges, runner pool counters) are present, then checks the
+# server shuts down cleanly on SIGINT (exit 0 via context cancellation).
+set -u
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+log="$tmp/dapsim.log"
+pid=""
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    [ -s "$log" ] && { echo "--- dapsim log ---" >&2; cat "$log" >&2; }
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+    rm -rf "$tmp"
+    exit 1
+}
+
+echo "serve-smoke: building dapsim (-race)"
+go build -race -o "$tmp/dapsim" ./cmd/dapsim || fail "build"
+
+"$tmp/dapsim" -quick -workload mcf -policy dap -metrics-every 20000 \
+    -replicate 2 -j 2 -serve 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+
+# Wait for the bound address, then for the run to complete (metrics final).
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's|^telemetry: serving on http://||p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "dapsim exited before serving"
+    sleep 0.5
+done
+[ -n "$addr" ] && echo "serve-smoke: serving on $addr" || fail "no bound address after 60s"
+
+for _ in $(seq 1 240); do
+    grep -q "run complete" "$log" && break
+    kill -0 "$pid" 2>/dev/null || fail "dapsim exited before completing the run"
+    sleep 0.5
+done
+grep -q "run complete" "$log" || fail "run did not complete within 120s"
+
+code=$(curl -s -o "$tmp/healthz" -w '%{http_code}' "http://$addr/healthz") || fail "curl /healthz"
+[ "$code" = 200 ] || fail "/healthz returned $code"
+grep -q '"status"' "$tmp/healthz" || fail "/healthz body lacks status: $(cat "$tmp/healthz")"
+
+code=$(curl -s -o "$tmp/metrics" -w '%{http_code}' "http://$addr/metrics") || fail "curl /metrics"
+[ "$code" = 200 ] || fail "/metrics returned $code"
+for family in dap_credit_fwb runner_jobs_done sim_runs_finished_total; do
+    grep -q "^$family" "$tmp/metrics" || fail "/metrics missing $family"
+done
+
+kill -INT "$pid"
+wait "$pid"
+status=$?
+[ "$status" = 0 ] || fail "dapsim exited $status after SIGINT, want clean 0"
+
+rm -rf "$tmp"
+echo "serve-smoke: PASS"
