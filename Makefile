@@ -4,9 +4,9 @@
 # exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-cmp bench-figures runner-race obs-check telemetry-race serve-smoke trace-demo
+.PHONY: check vet build test race bench bench-gate bench-cmp bench-figures runner-race obs-check pool-debug telemetry-race serve-smoke trace-demo profile
 
-check: vet build race runner-race obs-check telemetry-race serve-smoke
+check: vet build race runner-race obs-check pool-debug telemetry-race serve-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -52,13 +52,29 @@ runner-race:
 	$(GO) test -race -short ./internal/harness
 	$(GO) test -race -run 'TestParallelFiguresBitIdentical|TestAloneFingerprintSeparates' -timeout 20m -count=1 ./internal/harness
 
+# pool-debug reruns the pooled-allocation paths with the request-pool poison
+# mode armed (-tags dappooldebug): double-free, use-after-free and
+# freed-record callbacks panic instead of corrupting an unrelated request.
+# The harness test drives full simulations of all three architectures
+# through the armed pools.
+pool-debug:
+	$(GO) test -tags dappooldebug ./internal/mem/
+	$(GO) test -tags dappooldebug -run 'TestPoolingUnderParallelRuns' ./internal/harness/
+
 # bench runs the substrate microbenchmarks plus the end-to-end quick run and
 # writes the machine-readable report consumed by DESIGN.md's performance
 # section. bench-figures is the full figure-regeneration benchmark suite.
 bench:
 	$(GO) test -bench='EngineEvent|CacheLookup|DRAMStream|WorkloadGen|EndToEndQuickRun|Replicate6' \
-		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json \
-		-note "Replicate6Serial/Replicate6J8 is the delivered -j 8 wall-clock speedup; it tracks the host's CPUs (GOMAXPROCS in this file) and results are bit-identical at any -j"
+		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR5.json \
+		-note "allocation-free hot path: timing-wheel event queue, closure-free scheduling, request pooling"
+
+# bench-gate enforces the perf story of the allocation-free hot path: the
+# recorded BENCH_PR5.json must not regress against the PR3 baseline by more
+# than benchcmp's 10% tolerance in ns/op or allocs/op. Re-record the HEAD
+# report with `make bench` after intentional changes.
+bench-gate:
+	$(GO) run ./cmd/benchcmp BENCH_PR3.json BENCH_PR5.json
 
 bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -69,6 +85,16 @@ bench-figures:
 #   make bench-cmp BASE=BENCH_PR3.json HEAD=BENCH_HEAD.json
 bench-cmp:
 	$(GO) run ./cmd/benchcmp $(BASE) $(HEAD)
+
+# profile captures CPU and allocation profiles of the end-to-end quick run
+# and prints the top-10 allocation sites — the view that drove (and guards)
+# the allocation-free hot path work.
+profile:
+	mkdir -p out
+	$(GO) test -bench=EndToEndQuickRun -benchmem -run=^$$ \
+		-cpuprofile out/cpu.prof -memprofile out/mem.prof .
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects out/mem.prof
+	@echo "profiles in out/cpu.prof, out/mem.prof (go tool pprof -http=: out/cpu.prof)"
 
 # trace-demo produces a small end-to-end observability artifact set: a
 # Perfetto-loadable Chrome trace of L3-miss lifecycles and a per-window

@@ -192,6 +192,13 @@ type core struct {
 	// mshr merges outstanding misses per line: secondary misses (demand or
 	// prefetch) attach to the primary instead of issuing duplicate reads.
 	mshr map[mem.Addr]*missEntry
+
+	// freeMiss and freeFill recycle the per-miss records (missEntry, and
+	// the fillOp continuation handed to the backend), so the steady-state
+	// miss path allocates nothing. Per-core LIFO free lists: each core
+	// lives on one engine goroutine, so recycling order is deterministic.
+	freeMiss []*missEntry
+	freeFill []*fillOp
 }
 
 // missEntry tracks one outstanding line fill and its merged waiters.
@@ -205,6 +212,81 @@ type missWaiter struct {
 	pos       uint64
 	dependent bool
 	issued    mem.Cycle
+}
+
+// fillOp is the pooled continuation for one backend read: cb is the method
+// value bound to complete, allocated once when the record is first created
+// and reused for every subsequent fill, so handing the backend a
+// func(mem.Cycle) costs no allocation in steady state.
+type fillOp struct {
+	co   *core
+	addr mem.Addr
+	pf   bool // a prefetch fill (decrements pfOut on completion)
+	cb   func(mem.Cycle)
+}
+
+// complete releases the record before dispatching: the fields are copied to
+// locals, so the op can be reused by any read issued downstream of
+// fillArrived (load completion → advance → execute → new miss).
+func (f *fillOp) complete(t mem.Cycle) {
+	co, addr, pf := f.co, f.addr, f.pf
+	co.freeFill = append(co.freeFill, f)
+	if pf {
+		co.pfOut--
+	}
+	co.fillArrived(addr, t)
+}
+
+func (co *core) getFill(addr mem.Addr, pf bool) *fillOp {
+	var f *fillOp
+	if n := len(co.freeFill); n > 0 {
+		f = co.freeFill[n-1]
+		co.freeFill = co.freeFill[:n-1]
+	} else {
+		f = &fillOp{}
+		f.cb = f.complete
+	}
+	f.co, f.addr, f.pf = co, addr, pf
+	return f
+}
+
+func (co *core) getMiss() *missEntry {
+	n := len(co.freeMiss)
+	if n == 0 {
+		return &missEntry{}
+	}
+	e := co.freeMiss[n-1]
+	co.freeMiss = co.freeMiss[:n-1]
+	return e // reset on put; waiters keeps its capacity
+}
+
+func (co *core) putMiss(e *missEntry) {
+	e.waiters = e.waiters[:0]
+	e.store = false
+	co.freeMiss = append(co.freeMiss, e)
+}
+
+// coreWake resumes a rate-limited core (the typed, allocation-free form of
+// the wake closure advance used to capture).
+func coreWake(ctx any, _ uint64, _ mem.Cycle) {
+	co := ctx.(*core)
+	co.wakeSet = false
+	co.advance()
+}
+
+// coreCompleteLoad completes the load encoded in v: bit 0 is the dependent
+// flag, the rest is the program-order position (see packLoad).
+func coreCompleteLoad(ctx any, v uint64, _ mem.Cycle) {
+	ctx.(*core).completeLoad(v>>1, v&1 != 0)
+}
+
+// packLoad encodes a load's identity into the AtArg payload word.
+func packLoad(pos uint64, dependent bool) uint64 {
+	v := pos << 1
+	if dependent {
+		v |= 1
+	}
+	return v
 }
 
 func (co *core) loadFirst() {
@@ -277,10 +359,7 @@ func (co *core) advance() {
 			dt := (tgt - co.fetched + w - 1) / w
 			if !co.wakeSet {
 				co.wakeSet = true
-				eng.After(mem.Cycle(dt), func() {
-					co.wakeSet = false
-					co.advance()
-				})
+				eng.AfterArg(mem.Cycle(dt), coreWake, co, 0)
 			}
 			return
 		}
@@ -299,10 +378,7 @@ func (co *core) advance() {
 		} else if co.issuedCycle >= co.cpu.cfg.Width {
 			if !co.wakeSet {
 				co.wakeSet = true
-				eng.After(1, func() {
-					co.wakeSet = false
-					co.advance()
-				})
+				eng.AfterArg(1, coreWake, co, 0)
 			}
 			return
 		}
@@ -346,29 +422,22 @@ func (co *core) execute(a workload.Access, pos uint64) {
 		return // L1 hits are free in this model
 	}
 
-	// train the prefetcher on the L1 miss stream
+	// train the prefetcher on the L1 miss stream. pfBuf is handed straight
+	// to issuePrefetches below — nothing between observe and that call
+	// reenters the core (backend reads only enqueue; completions fire from
+	// the engine loop), so no defensive copy is needed.
 	co.pfBuf = co.pf.observe(addr, co.pfBuf[:0])
-	pf := append([]mem.Addr(nil), co.pfBuf...)
 
 	isLoad := !a.Store
-	track := func(lat mem.Cycle) {
-		if isLoad {
-			co.inflight = append(co.inflight, pos)
-			if a.Dependent {
-				co.depOut = true
-			}
-			eng.After(lat, func() { co.completeLoad(pos, a.Dependent) })
-		}
-	}
 
 	switch {
 	case co.l2.Lookup(addr) != nil:
 		co.installL1(addr, a.Store)
-		track(cpu.cfg.L2Lat)
+		co.trackLoad(isLoad, a.Dependent, pos, cpu.cfg.L2Lat)
 	case cpu.l3.Lookup(addr) != nil:
 		co.installL2(addr, false)
 		co.installL1(addr, a.Store)
-		track(cpu.cfg.L3Lat)
+		co.trackLoad(isLoad, a.Dependent, pos, cpu.cfg.L3Lat)
 	default:
 		issued := eng.Now()
 		if isLoad {
@@ -387,14 +456,28 @@ func (co *core) execute(a workload.Access, pos uint64) {
 			break
 		}
 		co.st.L3Misses++
-		e := &missEntry{store: a.Store}
+		e := co.getMiss()
+		e.store = a.Store
 		if isLoad {
 			e.waiters = append(e.waiters, missWaiter{pos: pos, dependent: a.Dependent, issued: issued})
 		}
 		co.mshr[addr] = e
-		cpu.backend.Read(addr, co.id, mem.ReadKind, func(t mem.Cycle) { co.fillArrived(addr, t) })
+		cpu.backend.Read(addr, co.id, mem.ReadKind, co.getFill(addr, false).cb)
 	}
-	co.issuePrefetches(pf)
+	co.issuePrefetches(co.pfBuf)
+}
+
+// trackLoad records an in-window load serviced by a private cache level and
+// schedules its completion lat cycles out.
+func (co *core) trackLoad(isLoad, dependent bool, pos uint64, lat mem.Cycle) {
+	if !isLoad {
+		return
+	}
+	co.inflight = append(co.inflight, pos)
+	if dependent {
+		co.depOut = true
+	}
+	co.cpu.eng.AfterArg(lat, coreCompleteLoad, co, packLoad(pos, dependent))
 }
 
 // fillArrived completes an outstanding miss: install the line and release
@@ -408,11 +491,11 @@ func (co *core) fillArrived(addr mem.Addr, t mem.Cycle) {
 		return
 	}
 	for _, w := range e.waiters {
-		w := w
 		co.st.L3ReadMissLatSum += t - w.issued + cpu.cfg.L3Lat
 		co.st.L3MissLat.Add(uint64(t - w.issued + cpu.cfg.L3Lat))
-		cpu.eng.After(cpu.cfg.L3Lat, func() { co.completeLoad(w.pos, w.dependent) })
+		cpu.eng.AfterArg(cpu.cfg.L3Lat, coreCompleteLoad, co, packLoad(w.pos, w.dependent))
 	}
+	co.putMiss(e)
 }
 
 // fillFromMemory installs a returned line into L3, L2 and L1.
@@ -429,7 +512,6 @@ func (co *core) issuePrefetches(cands []mem.Addr) {
 		max = 32
 	}
 	for _, p := range cands {
-		p := p
 		if co.pfOut >= max {
 			return
 		}
@@ -439,12 +521,9 @@ func (co *core) issuePrefetches(cands []mem.Addr) {
 		if _, dup := co.mshr[p]; dup {
 			continue
 		}
-		co.mshr[p] = &missEntry{}
+		co.mshr[p] = co.getMiss()
 		co.pfOut++
-		cpu.backend.Read(p, co.id, mem.PrefetchKind, func(t mem.Cycle) {
-			co.pfOut--
-			co.fillArrived(p, t)
-		})
+		cpu.backend.Read(p, co.id, mem.PrefetchKind, co.getFill(p, true).cb)
 	}
 }
 

@@ -25,6 +25,12 @@ type Device struct {
 	eng      *sim.Engine
 	channels []*channel
 
+	// pool recycles request records across the device's channel queues.
+	// The device and its channels run on one engine goroutine, so the
+	// LIFO free list is deterministic and needs no locking. Steady state
+	// holds the peak queue depth's worth of records and allocates nothing.
+	pool mem.RequestPool
+
 	rowLines uint64 // lines per row
 
 	// Kinds counts accesses by kind for bandwidth attribution.
@@ -42,7 +48,7 @@ func NewDeviceE(cfg Config, eng *sim.Engine) (*Device, error) {
 	}
 	d := &Device{Cfg: cfg, eng: eng, rowLines: uint64(cfg.RowBytes / mem.LineBytes)}
 	for i := 0; i < cfg.Channels; i++ {
-		d.channels = append(d.channels, newChannel(&d.Cfg, eng))
+		d.channels = append(d.channels, newChannel(&d.Cfg, eng, &d.pool))
 	}
 	return d, nil
 }
@@ -72,59 +78,78 @@ func (d *Device) route(a mem.Addr) (ch, bk int, row int64) {
 
 // Enqueue submits a request to the device. The request's Done callback (if
 // any) fires when data is transferred. The request is consumed by value —
-// the device never retains r — so callers may pass a stack-allocated
-// request and reuse or discard it immediately.
+// the device copies it into a pooled record and never retains r — so
+// callers may pass a stack-allocated request and reuse or discard it
+// immediately. (Prefer Access/AccessBurst: they fill the pooled record
+// directly without the intermediate copy.)
 func (d *Device) Enqueue(r *mem.Request) {
-	d.enqueueReq(*r)
+	p := d.pool.Get()
+	*p = *r
+	d.submit(p)
 }
 
-// enqueueReq is the by-value request path shared by Access, AccessTraced
-// and Enqueue. Keeping the fault hook on a separate non-inlined path lets
-// escape analysis keep fault-free requests (the overwhelmingly common
-// case) off the heap entirely.
-func (d *Device) enqueueReq(req mem.Request) {
+// submit is the pooled-request path shared by Access, AccessTraced,
+// AccessBurst and Enqueue. Ownership of r (a record from d.pool) passes to
+// the target channel. The fault hook lives on a separate non-inlined path
+// so the fault-free common case stays branch-light.
+func (d *Device) submit(r *mem.Request) {
 	if d.Fault != nil {
-		d.enqueueFaulty(req)
+		d.submitFaulty(r)
 		return
 	}
-	d.Kinds[req.Kind]++
-	ch, bk, row := d.route(req.Addr)
-	d.channels[ch].enqueue(req, bk, row)
+	d.Kinds[r.Kind]++
+	ch, bk, row := d.route(r.Addr)
+	d.channels[ch].enqueue(r, bk, row)
 }
 
-// enqueueFaulty consults the fault hook and rewrites the request according
+// submitFaulty consults the fault hook and rewrites the request according
 // to its verdict: a dropped response loses its Done callback (the transfer
 // still happens, so the bandwidth is spent, but the waiter never wakes); a
 // delay defers Done.
 //
 //go:noinline
-func (d *Device) enqueueFaulty(req mem.Request) {
-	if act := d.Fault(&req); act.DropResponse || act.ExtraDelay > 0 {
+func (d *Device) submitFaulty(r *mem.Request) {
+	if act := d.Fault(r); act.DropResponse || act.ExtraDelay > 0 {
 		switch {
 		case act.DropResponse:
-			req.Done = nil
-		case req.Done != nil:
-			orig, extra := req.Done, act.ExtraDelay
-			req.Done = func(t mem.Cycle) {
+			r.Done = nil
+		case r.Done != nil:
+			orig, extra := r.Done, act.ExtraDelay
+			r.Done = func(t mem.Cycle) {
 				d.eng.After(extra, func() { orig(t + extra) })
 			}
 		}
 	}
-	d.Kinds[req.Kind]++
-	ch, bk, row := d.route(req.Addr)
-	d.channels[ch].enqueue(req, bk, row)
+	d.Kinds[r.Kind]++
+	ch, bk, row := d.route(r.Addr)
+	d.channels[ch].enqueue(r, bk, row)
 }
 
 // Access is a convenience wrapper building a Request.
 func (d *Device) Access(a mem.Addr, k mem.Kind, core int, done func(mem.Cycle)) {
-	d.enqueueReq(mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), Done: done})
+	r := d.pool.Get()
+	r.Addr, r.Kind, r.Core, r.Issued, r.Done = a, k, core, d.eng.Now(), done
+	d.submit(r)
+}
+
+// AccessBurst is Access with an explicit burst-length override in device
+// cycles (0 means the config default). It exists for the mscache
+// controllers' tag-and-data and writeback transactions, which transfer
+// more than one line per CAS; routing them here keeps the request record
+// pooled instead of heap-allocating one per enqueue.
+func (d *Device) AccessBurst(a mem.Addr, k mem.Kind, core int, burst uint8, done func(mem.Cycle)) {
+	r := d.pool.Get()
+	r.Addr, r.Kind, r.Core, r.Issued, r.Burst, r.Done = a, k, core, d.eng.Now(), burst, done
+	d.submit(r)
 }
 
 // AccessTraced is Access with an observability issue hook attached: onIssue
 // (if non-nil) receives the request's in-queue wait when its data burst is
 // scheduled. Timing is identical to Access.
 func (d *Device) AccessTraced(a mem.Addr, k mem.Kind, core int, onIssue func(mem.Cycle), done func(mem.Cycle)) {
-	d.enqueueReq(mem.Request{Addr: a, Kind: k, Core: core, Issued: d.eng.Now(), OnIssue: onIssue, Done: done})
+	r := d.pool.Get()
+	r.Addr, r.Kind, r.Core, r.Issued, r.OnIssue, r.Done = a, k, core, d.eng.Now(), onIssue, done
+	d.submit(r)
 }
 
 // NumChannels returns the number of channels.

@@ -1,0 +1,55 @@
+package mem
+
+// RequestPool is a free list of Request records for components that keep
+// requests alive across events (the DRAM channel queues). It is
+// single-owner: each pool belongs to one simulated device on one engine
+// goroutine, so Get/Put need no locking and recycling order is
+// deterministic (LIFO).
+//
+// Lifetime contract: a request obtained with Get is live until exactly one
+// Put returns it; after Put the caller must drop every reference. The
+// opt-in `dappooldebug` build tag arms a poison mode that enforces the
+// contract at runtime: every Get/Put transition bumps a per-record
+// generation counter, double-Put and Put-of-foreign-record panic, and
+// holders can stamp the generation at acquisition time and re-check it
+// later (Generation/CheckLive) to detect a record that was freed and
+// reused behind their back.
+type RequestPool struct {
+	free []*Request
+	dbg  poolDebugState
+}
+
+// Get returns a zeroed live Request, reusing a freed record when one is
+// available.
+func (p *RequestPool) Get() *Request {
+	n := len(p.free)
+	if n == 0 {
+		r := &Request{}
+		p.dbg.onNew(r)
+		return r
+	}
+	r := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.dbg.onGet(r)
+	*r = Request{}
+	return r
+}
+
+// Put returns a live Request to the free list. The caller must not touch r
+// afterwards.
+func (p *RequestPool) Put(r *Request) {
+	p.dbg.onPut(r)
+	p.free = append(p.free, r)
+}
+
+// Generation reports r's reuse generation (always 0 without the
+// dappooldebug build tag). A holder that stores the generation next to the
+// pointer can later detect reuse with CheckLive.
+func (p *RequestPool) Generation(r *Request) uint64 { return p.dbg.generation(r) }
+
+// CheckLive panics when poison mode is armed and r is not live at the
+// generation the holder recorded — i.e. the record was Put (and possibly
+// handed out again) while the holder still considered it theirs. A no-op
+// without the dappooldebug build tag.
+func (p *RequestPool) CheckLive(r *Request, gen uint64) { p.dbg.checkLive(r, gen) }

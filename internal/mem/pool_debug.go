@@ -1,0 +1,72 @@
+//go:build dappooldebug
+
+package mem
+
+import "fmt"
+
+// PoolDebug reports whether the dappooldebug poison mode is compiled in.
+const PoolDebug = true
+
+// poolDebugState tracks liveness and a reuse generation per record, outside
+// the Request itself (callers overwrite requests wholesale with
+// `*r = Request{...}`, so an in-struct field would be wiped). Maps are fine
+// here: the tag is only enabled for safety test runs, never benchmarks.
+type poolDebugState struct {
+	gen  map[*Request]uint64
+	live map[*Request]bool
+}
+
+func (d *poolDebugState) init() {
+	if d.gen == nil {
+		d.gen = make(map[*Request]uint64)
+		d.live = make(map[*Request]bool)
+	}
+}
+
+func (d *poolDebugState) onNew(r *Request) {
+	d.init()
+	d.gen[r] = 1
+	d.live[r] = true
+}
+
+func (d *poolDebugState) onGet(r *Request) {
+	if d.live[r] {
+		panic(fmt.Sprintf("mem.RequestPool: record %p handed out while still live", r))
+	}
+	d.live[r] = true
+}
+
+func (d *poolDebugState) onPut(r *Request) {
+	d.init()
+	if _, known := d.gen[r]; !known {
+		panic(fmt.Sprintf("mem.RequestPool: Put of foreign record %p (not from this pool)", r))
+	}
+	if !d.live[r] {
+		panic(fmt.Sprintf("mem.RequestPool: double Put of record %p (generation %d)", r, d.gen[r]))
+	}
+	d.live[r] = false
+	d.gen[r]++
+	// Poison the callbacks so a stale holder that fires the freed request's
+	// completion blows up immediately instead of silently corrupting state.
+	// Get wipes these when the record is legitimately reissued.
+	r.Done = poisonedDone
+	r.OnIssue = poisonedOnIssue
+}
+
+func (d *poolDebugState) generation(r *Request) uint64 { return d.gen[r] }
+
+func (d *poolDebugState) checkLive(r *Request, gen uint64) {
+	if !d.live[r] || d.gen[r] != gen {
+		panic(fmt.Sprintf(
+			"mem.RequestPool: use of request %p at generation %d, but record is live=%v generation=%d (freed and/or reused)",
+			r, gen, d.live[r], d.gen[r]))
+	}
+}
+
+func poisonedDone(Cycle) {
+	panic("mem.RequestPool: Done invoked on a freed (pooled) request")
+}
+
+func poisonedOnIssue(Cycle) {
+	panic("mem.RequestPool: OnIssue invoked on a freed (pooled) request")
+}

@@ -1,0 +1,72 @@
+//go:build dappooldebug
+
+package mem
+
+import "testing"
+
+// These tests arm the pool's poison mode (-tags dappooldebug) and verify
+// each enforcement of the single-owner lifetime contract actually fires.
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestDebugDoublePutPanics: returning the same record twice is the classic
+// pool corruption (two future Gets alias one record) and must panic.
+func TestDebugDoublePutPanics(t *testing.T) {
+	var p RequestPool
+	r := p.Get()
+	p.Put(r)
+	mustPanic(t, "double Put", func() { p.Put(r) })
+}
+
+// TestDebugForeignPutPanics: a record that never came from the pool has no
+// generation entry and must be rejected.
+func TestDebugForeignPutPanics(t *testing.T) {
+	var p RequestPool
+	mustPanic(t, "Put of foreign record", func() { p.Put(&Request{}) })
+}
+
+// TestDebugPoisonedCallbacks: after Put, the freed record's Done and
+// OnIssue are replaced with panicking stubs, so a stale holder that fires a
+// completion on a recycled request dies loudly instead of corrupting an
+// unrelated in-flight access.
+func TestDebugPoisonedCallbacks(t *testing.T) {
+	var p RequestPool
+	r := p.Get()
+	r.Done = func(Cycle) {}
+	r.OnIssue = func(Cycle) {}
+	p.Put(r)
+	mustPanic(t, "Done on freed request", func() { r.Done(0) })
+	mustPanic(t, "OnIssue on freed request", func() { r.OnIssue(0) })
+}
+
+// TestDebugCheckLiveCatchesReuse: a holder stamps the generation when it
+// enqueues a pointer; if the record is freed — and even handed out again —
+// behind its back, CheckLive at dequeue time must panic rather than let the
+// holder issue someone else's request.
+func TestDebugCheckLiveCatchesReuse(t *testing.T) {
+	var p RequestPool
+	r := p.Get()
+	gen := p.Generation(r)
+	if gen == 0 {
+		t.Fatalf("debug Generation = 0, want a live nonzero generation")
+	}
+	p.CheckLive(r, gen) // live at the stamped generation: fine
+
+	p.Put(r)
+	mustPanic(t, "CheckLive after free", func() { p.CheckLive(r, gen) })
+
+	r2 := p.Get() // the same record, recycled
+	if r2 != r {
+		t.Fatalf("expected LIFO reuse of the freed record")
+	}
+	mustPanic(t, "CheckLive after recycle", func() { p.CheckLive(r2, gen) })
+	p.CheckLive(r2, p.Generation(r2)) // the new holder's stamp is valid
+}

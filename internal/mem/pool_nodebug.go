@@ -1,0 +1,16 @@
+//go:build !dappooldebug
+
+package mem
+
+// PoolDebug reports whether the dappooldebug poison mode is compiled in.
+const PoolDebug = false
+
+// poolDebugState is empty in normal builds: every hook compiles to nothing
+// so the pool stays a bare free list on the hot path.
+type poolDebugState struct{}
+
+func (poolDebugState) onNew(*Request)             {}
+func (poolDebugState) onGet(*Request)             {}
+func (poolDebugState) onPut(*Request)             {}
+func (poolDebugState) generation(*Request) uint64 { return 0 }
+func (poolDebugState) checkLive(*Request, uint64) {}

@@ -1,0 +1,78 @@
+package mem
+
+import "testing"
+
+// TestPoolReusesRecords pins the free-list behaviour the hot path relies
+// on: Put-then-Get hands back the same record (LIFO), and the record comes
+// back zeroed no matter what the previous owner left in it.
+func TestPoolReusesRecords(t *testing.T) {
+	var p RequestPool
+	a := p.Get()
+	a.Addr, a.Kind, a.Core = 0x1000, WritebackKind, 3
+	a.Issued, a.Burst = 42, 3
+	a.Done = func(Cycle) {}
+	a.OnIssue = func(Cycle) {}
+	p.Put(a)
+
+	b := p.Get()
+	if b != a {
+		t.Fatalf("Get after Put returned a fresh record, want the freed one reused")
+	}
+	if b.Addr != 0 || b.Kind != 0 || b.Core != 0 || b.Issued != 0 || b.Burst != 0 || b.Done != nil || b.OnIssue != nil {
+		t.Fatalf("reused record not zeroed: %+v", *b)
+	}
+	p.Put(b)
+}
+
+// TestPoolLIFOOrder pins deterministic recycling: records come back in
+// reverse order of their Puts, so a replayed simulation sees the same
+// pointer-to-request assignment every run.
+func TestPoolLIFOOrder(t *testing.T) {
+	var p RequestPool
+	r1, r2, r3 := p.Get(), p.Get(), p.Get()
+	p.Put(r1)
+	p.Put(r2)
+	p.Put(r3)
+	if g := p.Get(); g != r3 {
+		t.Fatalf("first Get = %p, want last-freed %p", g, r3)
+	}
+	if g := p.Get(); g != r2 {
+		t.Fatalf("second Get = %p, want %p", g, r2)
+	}
+	if g := p.Get(); g != r1 {
+		t.Fatalf("third Get = %p, want %p", g, r1)
+	}
+}
+
+// TestPoolGetAllocsOnlyWhenEmpty: a warm pool's Get/Put cycle is
+// allocation-free; only a Get on an empty free list allocates the record.
+func TestPoolGetAllocsOnlyWhenEmpty(t *testing.T) {
+	if PoolDebug {
+		t.Skip("debug mode tracks records in maps; alloc-free only applies to the release build")
+	}
+	var p RequestPool
+	p.Put(p.Get()) // warm: one record in the free list, Put's append sized
+	if a := testing.AllocsPerRun(100, func() {
+		r := p.Get()
+		r.Addr = 0x40
+		p.Put(r)
+	}); a != 0 {
+		t.Fatalf("warm Get/Put allocates %.1f times per cycle, want 0", a)
+	}
+}
+
+// TestPoolGenerationWithoutDebugTag: without -tags dappooldebug the debug
+// hooks must be free no-ops — Generation reports 0 and CheckLive accepts
+// anything, including a freed record.
+func TestPoolGenerationWithoutDebugTag(t *testing.T) {
+	if PoolDebug {
+		t.Skip("covered by pool_debug_test.go under -tags dappooldebug")
+	}
+	var p RequestPool
+	r := p.Get()
+	if g := p.Generation(r); g != 0 {
+		t.Fatalf("Generation = %d without debug tag, want 0", g)
+	}
+	p.Put(r)
+	p.CheckLive(r, 0) // must not panic
+}

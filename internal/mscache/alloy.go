@@ -132,11 +132,161 @@ type Alloy struct {
 	// fill-bypass predictor (BEAR): 2-bit usefulness counters trained by
 	// observed fill reuse.
 	fillPred []uint8
+
+	// Pooled continuation records (see ops.go).
+	fwd     fwdPool
+	freeOps []*alloyOp
+}
+
+// alloyOp is the pooled continuation for one Alloy request. A read may
+// have up to two outstanding completions at once (the parallel-miss TAD
+// probe and main-memory access), so the record is reference-counted: each
+// issued callback holds one reference and drops it when it will touch the
+// record no further; the record recycles at zero. The callback fields are
+// prebound method values, created once per record.
+type alloyOp struct {
+	a      *Alloy
+	addr   mem.Addr
+	coreID int
+	sp     *obs.Span
+	done   func(mem.Cycle)
+
+	refs      int8
+	launchPar bool // main-memory access launched alongside the TAD probe
+	bearHit   bool // BEAR miss-probe-avoidance path: the line was present
+	mmArrived bool
+	tadMiss   bool
+	resolved  bool
+	mmT       mem.Cycle
+
+	mmCB, tadCB, finCB, bearCB, wbCB func(mem.Cycle)
+}
+
+func (a *Alloy) getOp(addr mem.Addr, coreID int, sp *obs.Span, done func(mem.Cycle)) *alloyOp {
+	var op *alloyOp
+	if n := len(a.freeOps); n > 0 {
+		op = a.freeOps[n-1]
+		a.freeOps = a.freeOps[:n-1]
+	} else {
+		op = &alloyOp{}
+		op.mmCB = op.mmDone
+		op.tadCB = op.tadDone
+		op.finCB = op.fin
+		op.bearCB = op.bear
+		op.wbCB = op.wbTadDone
+	}
+	op.a, op.addr, op.coreID, op.sp, op.done = a, addr, coreID, sp, done
+	op.refs, op.launchPar, op.bearHit = 0, false, false
+	op.mmArrived, op.tadMiss, op.resolved, op.mmT = false, false, false, 0
+	return op
+}
+
+func (op *alloyOp) deref() {
+	op.refs--
+	if op.refs == 0 {
+		op.sp, op.done = nil, nil
+		op.a.freeOps = append(op.a.freeOps, op)
+	}
+}
+
+// finishMiss resolves a read miss exactly once (the parallel TAD probe and
+// main-memory access can both reach it).
+func (op *alloyOp) finishMiss(t mem.Cycle) {
+	if op.resolved {
+		return
+	}
+	op.resolved = true
+	op.a.fill(op.addr, op.coreID, false, true)
+	op.done(t)
+}
+
+// mmDone joins the parallel-launched main-memory completion.
+func (op *alloyOp) mmDone(t mem.Cycle) {
+	op.mmArrived, op.mmT = true, t
+	if op.tadMiss {
+		op.finishMiss(t)
+	}
+	op.deref()
+}
+
+// tadDone resolves the TAD probe: a hit serves from the array (any
+// parallel main-memory response is dropped); a miss joins with — or, when
+// no parallel access was launched, starts — the main-memory read.
+func (op *alloyOp) tadDone(t mem.Cycle) {
+	a := op.a
+	line := a.tags.Probe(op.addr)
+	hit := line != nil
+	a.trainPred(op.addr, op.coreID, hit)
+	if hit {
+		a.st.ReadHits++
+		line.State |= 1 // reused
+		a.tags.Lookup(op.addr)
+		op.sp.Decide(stats.BDTechNone)
+		op.sp.Serve(stats.BDSrcCache)
+		done := op.done
+		op.deref()
+		done(t) // the TAD carries the data; a parallel MM response is dropped
+		return
+	}
+	a.st.ReadMisses++
+	a.wc.AMM++
+	a.wc.Rm++
+	op.tadMiss = true
+	op.sp.Decide(stats.BDTechNone)
+	if op.launchPar {
+		if op.mmArrived {
+			tt := t
+			if op.mmT > tt {
+				tt = op.mmT
+			}
+			op.finishMiss(tt)
+		}
+		op.deref()
+		return
+	}
+	op.sp.Serve(stats.BDSrcMain)
+	// the TAD reference transfers to the main-memory completion (finCB)
+	a.mm.AccessTraced(op.addr, mem.ReadKind, op.coreID, obs.OnIssue(op.sp), op.finCB)
+}
+
+// fin completes the serial (non-parallel) miss path.
+func (op *alloyOp) fin(t mem.Cycle) {
+	op.finishMiss(t)
+	op.deref()
+}
+
+// bear completes the BEAR miss-probe-avoidance path.
+func (op *alloyOp) bear(t mem.Cycle) {
+	a, addr, coreID, hit, done := op.a, op.addr, op.coreID, op.bearHit, op.done
+	op.deref()
+	if !hit {
+		a.fill(addr, coreID, false, false)
+	}
+	done(t)
+}
+
+// wbTadDone completes the baseline (non-BEAR) writeback's presence-
+// establishing TAD fetch.
+func (op *alloyOp) wbTadDone(mem.Cycle) {
+	a, addr, coreID := op.a, op.addr, op.coreID
+	op.deref()
+	a.applyWriteback(addr, coreID, true)
+}
+
+// alloyIFRM resumes a DAP forced miss after the DBC lookup latency.
+func alloyIFRM(ctx any, _ uint64, _ mem.Cycle) {
+	op := ctx.(*alloyOp)
+	a, addr, coreID, sp, done := op.a, op.addr, op.coreID, op.sp, op.done
+	op.deref()
+	sp.Decide(stats.BDTechIFRM)
+	sp.Serve(stats.BDSrcMain)
+	a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 }
 
 // NewAlloy builds the controller. mm is the shared main-memory device.
 func NewAlloy(cfg AlloyConfig, eng *sim.Engine, mm *dram.Device, part core.Partitioner) *Alloy {
 	a := &Alloy{cfg: cfg, eng: eng, mm: mm, part: part}
+	a.fwd.mm = mm
 	a.dev = dram.NewDevice(cfg.Array, eng)
 	sets := cfg.CapacityBytes / mem.LineBytes
 	a.tags = cache.New(sets, 1, cache.LRU, 1)
@@ -199,10 +349,9 @@ func (a *Alloy) setOf(addr mem.Addr) (set int, group uint64, bit uint64) {
 	return set, group, bit
 }
 
-// tad enqueues a TAD-sized array access.
+// tad enqueues a TAD-sized array access through the device's request pool.
 func (a *Alloy) tad(addr mem.Addr, kind mem.Kind, coreID int, done func(mem.Cycle)) {
-	a.dev.Enqueue(&mem.Request{Addr: addr, Kind: kind, Core: coreID,
-		Issued: a.eng.Now(), Burst: a.cfg.TADBurst, Done: done})
+	a.dev.AccessBurst(addr, kind, coreID, a.cfg.TADBurst, done)
 }
 
 // dbcBitsFromTags rebuilds a DBC entry from the tag array (models a
@@ -252,11 +401,9 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 			a.wc.AMM++
 			a.wc.Rm++
 		}
-		a.eng.After(a.cfg.DBCLat, func() {
-			sp.Decide(stats.BDTechIFRM)
-			sp.Serve(stats.BDSrcMain)
-			a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-		})
+		op := a.getOp(addr, coreID, sp, done)
+		op.refs = 1
+		a.eng.AfterArg(a.cfg.DBCLat, alloyIFRM, op, 0)
 		return
 	}
 
@@ -277,73 +424,29 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 		a.wc.AMM++
 		sp.Decide(stats.BDTechNone)
 		sp.Serve(stats.BDSrcMain)
-		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(t mem.Cycle) {
-			if !hit {
-				a.fill(addr, coreID, false, false)
-			}
-			done(t)
-		})
+		op := a.getOp(addr, coreID, sp, done)
+		op.refs, op.bearHit = 1, hit
+		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), op.bearCB)
 		return
 	}
 
 	// Parallel miss handling: on a predicted miss, start the main-memory
-	// access alongside the TAD probe and join the two completions.
-	launchParallel := !predictedHit
-	var mmT mem.Cycle
-	mmArrived, tadMiss, resolved := false, false, false
-	finishMiss := func(t mem.Cycle) {
-		if resolved {
-			return
-		}
-		resolved = true
-		a.fill(addr, coreID, false, true)
-		done(t)
-	}
-	if launchParallel {
+	// access alongside the TAD probe and join the two completions on one
+	// reference-counted op.
+	op := a.getOp(addr, coreID, sp, done)
+	op.launchPar = !predictedHit
+	op.refs = 1
+	if op.launchPar {
+		op.refs = 2
 		// Speculative serve mark: on a TAD hit the span is re-marked with
-		// the true source below.
+		// the true source in tadDone.
 		sp.Serve(stats.BDSrcMain)
-		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(t mem.Cycle) {
-			mmArrived, mmT = true, t
-			if tadMiss {
-				finishMiss(t)
-			}
-		})
+		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), op.mmCB)
 	}
 
 	a.wc.AMSR++
 	sp.Meta()
-	a.tad(addr, mem.MetaReadKind, coreID, func(t mem.Cycle) {
-		line := a.tags.Probe(addr)
-		hit := line != nil
-		a.trainPred(addr, coreID, hit)
-		if hit {
-			a.st.ReadHits++
-			line.State |= 1 // reused
-			a.tags.Lookup(addr)
-			sp.Decide(stats.BDTechNone)
-			sp.Serve(stats.BDSrcCache)
-			done(t) // the TAD carries the data; a parallel MM response is dropped
-			return
-		}
-		a.st.ReadMisses++
-		a.wc.AMM++
-		a.wc.Rm++
-		tadMiss = true
-		sp.Decide(stats.BDTechNone)
-		if launchParallel {
-			if mmArrived {
-				tt := t
-				if mmT > tt {
-					tt = mmT
-				}
-				finishMiss(tt)
-			}
-			return
-		}
-		sp.Serve(stats.BDSrcMain)
-		a.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), func(tt mem.Cycle) { finishMiss(tt) })
-	})
+	a.tad(addr, mem.MetaReadKind, coreID, op.tadCB)
 }
 
 // fill installs a returned line. probed reports whether a TAD read of the
@@ -386,9 +489,7 @@ func (a *Alloy) fill(addr mem.Addr, coreID int, dirty, probed bool) {
 			} else {
 				a.st.VictimReads++
 				a.wc.AMSR++
-				a.tad(va, mem.VictimRdKind, -1, func(mem.Cycle) {
-					a.mm.Access(va, mem.WritebackKind, -1, nil)
-				})
+				a.tad(va, mem.VictimRdKind, -1, a.fwd.forward(va))
 			}
 		}
 	}
@@ -407,48 +508,52 @@ func (a *Alloy) fill(addr mem.Addr, coreID int, dirty, probed bool) {
 // Writeback implements cpu.Backend.
 func (a *Alloy) Writeback(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
-	_, group, bit := a.setOf(addr)
 	a.wc.Wm++
-
-	apply := func(probed bool) {
-		line := a.tags.Probe(addr)
-		if line == nil {
-			a.st.WriteMisses++
-			a.fill(addr, coreID, true, probed)
-			return
-		}
-		a.st.WriteHits++
-		a.wc.AMSW++
-		// DAP write-through: spend residual main-memory bandwidth keeping
-		// blocks clean so forced misses stay applicable.
-		wt := a.part.TakeWT()
-		line.Dirty = !wt
-		line.State |= 1
-		a.tags.Lookup(addr)
-		a.tad(addr, mem.WritebackKind, coreID, nil)
-		if wt {
-			a.mm.Access(addr, mem.WritebackKind, coreID, nil)
-		}
-		e := a.dbc.lookup(group)
-		if e == nil {
-			e = a.dbc.install(group, a.dbcBitsFromTags(group))
-		}
-		if wt {
-			e.bits &^= bit
-		} else {
-			e.bits |= bit
-		}
-	}
 
 	if a.cfg.BEAR {
 		// the L3 presence bit obviates the TAD fetch before a write
-		apply(false)
+		a.applyWriteback(addr, coreID, false)
 		return
 	}
 	// baseline Alloy: a TAD fetch must establish presence first
 	a.wc.AMSR++
 	a.st.MetaReads++
-	a.tad(addr, mem.MetaReadKind, coreID, func(mem.Cycle) { apply(true) })
+	op := a.getOp(addr, coreID, nil, nil)
+	op.refs = 1
+	a.tad(addr, mem.MetaReadKind, coreID, op.wbCB)
+}
+
+// applyWriteback lands a writeback once presence is established (directly
+// under BEAR; after the TAD fetch otherwise).
+func (a *Alloy) applyWriteback(addr mem.Addr, coreID int, probed bool) {
+	_, group, bit := a.setOf(addr)
+	line := a.tags.Probe(addr)
+	if line == nil {
+		a.st.WriteMisses++
+		a.fill(addr, coreID, true, probed)
+		return
+	}
+	a.st.WriteHits++
+	a.wc.AMSW++
+	// DAP write-through: spend residual main-memory bandwidth keeping
+	// blocks clean so forced misses stay applicable.
+	wt := a.part.TakeWT()
+	line.Dirty = !wt
+	line.State |= 1
+	a.tags.Lookup(addr)
+	a.tad(addr, mem.WritebackKind, coreID, nil)
+	if wt {
+		a.mm.Access(addr, mem.WritebackKind, coreID, nil)
+	}
+	e := a.dbc.lookup(group)
+	if e == nil {
+		e = a.dbc.install(group, a.dbcBitsFromTags(group))
+	}
+	if wt {
+		e.bits &^= bit
+	} else {
+		e.bits |= bit
+	}
 }
 
 // WarmRead implements cpu.Backend's functional path.

@@ -59,11 +59,44 @@ type EDRAM struct {
 	tr   *obs.Tracer
 
 	sectorBlocks uint64
+
+	// Pooled continuation records (see ops.go).
+	fwd     fwdPool
+	freeOps []*edramOp
+}
+
+// edramOp is the pooled continuation for one request suspended on the
+// on-die tag lookup latency (reads carry their span and completion;
+// writebacks carry neither).
+type edramOp struct {
+	e      *EDRAM
+	addr   mem.Addr
+	coreID int
+	sp     *obs.Span
+	done   func(mem.Cycle)
+}
+
+func (e *EDRAM) getOp(addr mem.Addr, coreID int, sp *obs.Span, done func(mem.Cycle)) *edramOp {
+	var op *edramOp
+	if n := len(e.freeOps); n > 0 {
+		op = e.freeOps[n-1]
+		e.freeOps = e.freeOps[:n-1]
+	} else {
+		op = &edramOp{}
+	}
+	op.e, op.addr, op.coreID, op.sp, op.done = e, addr, coreID, sp, done
+	return op
+}
+
+func (e *EDRAM) putOp(op *edramOp) {
+	op.sp, op.done = nil, nil
+	e.freeOps = append(e.freeOps, op)
 }
 
 // NewEDRAM builds the controller.
 func NewEDRAM(cfg EDRAMConfig, eng *sim.Engine, mm *dram.Device, part core.Partitioner) *EDRAM {
 	e := &EDRAM{cfg: cfg, eng: eng, mm: mm, part: part}
+	e.fwd.mm = mm
 	e.rdev = dram.NewDevice(cfg.ReadArray, eng)
 	e.wdev = dram.NewDevice(cfg.WriteArray, eng)
 	e.sectorBlocks = uint64(cfg.SectorBytes / mem.LineBytes)
@@ -105,38 +138,44 @@ func (e *EDRAM) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	sp := e.tr.Read(coreID, addr, kind)
 	done = sp.Wrap(done)
 	sp.Meta()
-	e.eng.After(e.cfg.TagLat, func() {
-		bit := e.blockBit(addr)
-		line := e.tags.Probe(addr)
-		if line != nil && line.VMask&bit != 0 {
-			e.st.ReadHits++
-			e.wc.AMSR++
-			e.tags.Lookup(addr)
-			dirty := line.DMask&bit != 0
-			if !dirty {
-				e.wc.CleanHits++
-				if e.part.TakeIFRM(coreID) {
-					e.st.ForcedMisses++
-					sp.Decide(stats.BDTechIFRM)
-					sp.Serve(stats.BDSrcMain)
-					e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-					return
-				}
+	e.eng.AfterArg(e.cfg.TagLat, edramReadTag, e.getOp(addr, coreID, sp, done), 0)
+}
+
+// edramReadTag resumes a read after the tag lookup latency.
+func edramReadTag(ctx any, _ uint64, _ mem.Cycle) {
+	op := ctx.(*edramOp)
+	e, addr, coreID, sp, done := op.e, op.addr, op.coreID, op.sp, op.done
+	e.putOp(op)
+	bit := e.blockBit(addr)
+	line := e.tags.Probe(addr)
+	if line != nil && line.VMask&bit != 0 {
+		e.st.ReadHits++
+		e.wc.AMSR++
+		e.tags.Lookup(addr)
+		dirty := line.DMask&bit != 0
+		if !dirty {
+			e.wc.CleanHits++
+			if e.part.TakeIFRM(coreID) {
+				e.st.ForcedMisses++
+				sp.Decide(stats.BDTechIFRM)
+				sp.Serve(stats.BDSrcMain)
+				e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+				return
 			}
-			sp.Decide(stats.BDTechNone)
-			sp.Serve(stats.BDSrcCache)
-			e.rdev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-			return
 		}
-		// read miss
-		e.st.ReadMisses++
-		e.wc.AMM++
-		e.wc.Rm++
 		sp.Decide(stats.BDTechNone)
-		sp.Serve(stats.BDSrcMain)
-		e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-		e.handleFill(addr, line)
-	})
+		sp.Serve(stats.BDSrcCache)
+		e.rdev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+		return
+	}
+	// read miss
+	e.st.ReadMisses++
+	e.wc.AMM++
+	e.wc.Rm++
+	sp.Decide(stats.BDTechNone)
+	sp.Serve(stats.BDSrcMain)
+	e.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+	e.handleFill(addr, line)
 }
 
 // handleFill installs a missed block via the write channels; fills consult
@@ -173,48 +212,52 @@ func (e *EDRAM) evictSector(newAddr mem.Addr, ev cache.Line) {
 		e.st.VictimReads++
 		e.wc.AMSR++
 		e.wc.AMM++
-		e.rdev.Access(a, mem.VictimRdKind, -1, func(mem.Cycle) {
-			e.mm.Access(a, mem.WritebackKind, -1, nil)
-		})
+		e.rdev.Access(a, mem.VictimRdKind, -1, e.fwd.forward(a))
 	})
 }
 
 // Writeback implements cpu.Backend.
 func (e *EDRAM) Writeback(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
-	e.eng.After(e.cfg.TagLat, func() {
-		e.wc.Wm++
-		e.wc.AMSW++
-		bit := e.blockBit(addr)
-		line := e.tags.Probe(addr)
-		present := line != nil && line.VMask&bit != 0
-		if e.part.TakeWB() {
-			e.st.WriteBypasses++
-			e.mm.Access(addr, mem.WritebackKind, coreID, nil)
-			if present {
-				line.VMask &^= bit
-				line.DMask &^= bit
-			}
-			return
-		}
+	e.eng.AfterArg(e.cfg.TagLat, edramWBTag, e.getOp(addr, coreID, nil, nil), 0)
+}
+
+// edramWBTag resumes a writeback after the tag lookup latency.
+func edramWBTag(ctx any, _ uint64, _ mem.Cycle) {
+	op := ctx.(*edramOp)
+	e, addr, coreID := op.e, op.addr, op.coreID
+	e.putOp(op)
+	e.wc.Wm++
+	e.wc.AMSW++
+	bit := e.blockBit(addr)
+	line := e.tags.Probe(addr)
+	present := line != nil && line.VMask&bit != 0
+	if e.part.TakeWB() {
+		e.st.WriteBypasses++
+		e.mm.Access(addr, mem.WritebackKind, coreID, nil)
 		if present {
-			e.st.WriteHits++
-			line.DMask |= bit
-			e.tags.Lookup(addr)
-		} else {
-			e.st.WriteMisses++
-			if line == nil {
-				ev := e.tags.Insert(addr, false)
-				if ev.Valid {
-					e.evictSector(addr, ev)
-				}
-				line = e.tags.Probe(addr)
-			}
-			line.VMask |= bit
-			line.DMask |= bit
+			line.VMask &^= bit
+			line.DMask &^= bit
 		}
-		e.wdev.Access(addr, mem.WritebackKind, coreID, nil)
-	})
+		return
+	}
+	if present {
+		e.st.WriteHits++
+		line.DMask |= bit
+		e.tags.Lookup(addr)
+	} else {
+		e.st.WriteMisses++
+		if line == nil {
+			ev := e.tags.Insert(addr, false)
+			if ev.Valid {
+				e.evictSector(addr, ev)
+			}
+			line = e.tags.Probe(addr)
+		}
+		line.VMask |= bit
+		line.DMask |= bit
+	}
+	e.wdev.Access(addr, mem.WritebackKind, coreID, nil)
 }
 
 // WarmRead implements cpu.Backend's functional path.

@@ -75,6 +75,11 @@ type Sectored struct {
 
 	sectorBlocks uint64
 
+	// Pooled continuation records (see ops.go).
+	fwd     fwdPool
+	freeTag []*tagOp
+	freeFp  []*fpOp
+
 	// Optional related-proposal policies (at most one non-nil).
 	SBD    *policy.SBD
 	BATMAN *policy.BATMAN
@@ -82,10 +87,112 @@ type Sectored struct {
 	BATMANEpoch mem.Cycle
 }
 
+// tagOp is the pooled continuation for one tag-path lookup: it remembers
+// which operation (read, writeback, write-through) resumes once the
+// sector's metadata is known, plus the per-request state that operation
+// needs. cb is prebound to tagDone.
+type tagOp struct {
+	s      *Sectored
+	addr   mem.Addr
+	coreID int
+	stage  uint8
+	sfrm   bool // an SFRM read was launched to main memory in parallel
+	inst   bool // install the fetched metadata into the SRAM tag cache
+	sp     *obs.Span
+	done   func(mem.Cycle)
+	cb     func(mem.Cycle)
+}
+
+const (
+	opRead uint8 = iota
+	opWriteback
+	opWriteThrough
+)
+
+func (s *Sectored) getTagOp(addr mem.Addr, coreID int, stage uint8, sp *obs.Span, done func(mem.Cycle)) *tagOp {
+	var op *tagOp
+	if n := len(s.freeTag); n > 0 {
+		op = s.freeTag[n-1]
+		s.freeTag = s.freeTag[:n-1]
+	} else {
+		op = &tagOp{}
+		op.cb = op.tagDone
+	}
+	op.s, op.addr, op.coreID, op.stage, op.sp, op.done = s, addr, coreID, stage, sp, done
+	op.sfrm, op.inst = false, false
+	return op
+}
+
+func (op *tagOp) free() {
+	op.sp, op.done = nil, nil
+	op.s.freeTag = append(op.s.freeTag, op)
+}
+
+// tagDone resumes the suspended operation once the metadata is in hand.
+func (op *tagOp) tagDone(mem.Cycle) {
+	s := op.s
+	if op.inst {
+		s.installTagEntry(op.addr)
+	}
+	line := s.tags.Probe(op.addr)
+	switch op.stage {
+	case opRead:
+		addr, coreID, sfrm, sp, done := op.addr, op.coreID, op.sfrm, op.sp, op.done
+		op.free()
+		s.readTagKnown(addr, coreID, sfrm, sp, done, line)
+	case opWriteback:
+		addr, coreID := op.addr, op.coreID
+		op.free()
+		s.wbTagKnown(addr, coreID, line)
+	default: // opWriteThrough
+		addr, coreID := op.addr, op.coreID
+		op.free()
+		s.wtTagKnown(addr, coreID, line)
+	}
+}
+
+// tagOpRun adapts a pooled tagOp to the engine's typed-handler form for the
+// SRAM tag-cache hit path (a fixed-latency resume, no device access).
+func tagOpRun(ctx any, _ uint64, t mem.Cycle) { ctx.(*tagOp).tagDone(t) }
+
+// fpOp is the pooled continuation for one footprint-prefetch block: the
+// main-memory read's completion installs the block into the (possibly
+// since-replaced) sector.
+type fpOp struct {
+	s  *Sectored
+	ba mem.Addr
+	b  uint64
+	cb func(mem.Cycle)
+}
+
+func (s *Sectored) getFpOp(ba mem.Addr, b uint64) *fpOp {
+	var f *fpOp
+	if n := len(s.freeFp); n > 0 {
+		f = s.freeFp[n-1]
+		s.freeFp = s.freeFp[:n-1]
+	} else {
+		f = &fpOp{}
+		f.cb = f.fill
+	}
+	f.s, f.ba, f.b = s, ba, b
+	return f
+}
+
+func (f *fpOp) fill(mem.Cycle) {
+	s, ba, b := f.s, f.ba, f.b
+	s.freeFp = append(s.freeFp, f)
+	if cur := s.tags.Probe(ba); cur != nil {
+		s.st.Fills++
+		cur.VMask |= b
+		s.dev.Access(ba, mem.FillKind, -1, nil)
+	}
+}
+
 // NewSectored builds the controller. mm is the shared main-memory device;
 // part decides partitioning (core.Nop{} for the baseline).
 func NewSectored(cfg SectoredConfig, eng *sim.Engine, mm *dram.Device, part core.Partitioner) *Sectored {
 	s := &Sectored{cfg: cfg, eng: eng, mm: mm, part: part}
+	s.fwd.mm = mm
 	s.dev = dram.NewDevice(cfg.Array, eng)
 	s.sectorBlocks = uint64(cfg.SectorBytes / mem.LineBytes)
 	sets := cfg.CapacityBytes / cfg.SectorBytes / cfg.Ways
@@ -160,9 +267,7 @@ func (s *Sectored) writeoutDirtyBlock(a mem.Addr) {
 	s.st.VictimReads++
 	s.wc.AMSR++
 	s.wc.AMM++
-	s.dev.Access(a, mem.VictimRdKind, -1, func(mem.Cycle) {
-		s.mm.Access(a, mem.WritebackKind, -1, nil)
-	})
+	s.dev.Access(a, mem.VictimRdKind, -1, s.fwd.forward(a))
 }
 
 // sectorOf returns the sector index of an address.
@@ -188,33 +293,31 @@ func (s *Sectored) markMetaDirty(a mem.Addr) {
 	s.dev.Access(a, mem.MetaWriteKind, -1, nil)
 }
 
-// tagPath performs the metadata lookup and invokes then(line) when the
-// sector's state is known. It returns true if an SFRM read was launched to
-// main memory in parallel (then must not launch a second one).
-func (s *Sectored) tagPath(a mem.Addr, coreID int, isRead bool, then func(line *cache.Line, sfrm bool)) {
+// tagPath performs the metadata lookup and resumes op (via tagDone) when
+// the sector's state is known. op.sfrm records whether an SFRM read was
+// launched to main memory in parallel (the resumed operation must not
+// launch a second one).
+func (s *Sectored) tagPath(op *tagOp, isRead bool) {
+	a := op.addr
 	if s.tagCache == nil {
 		// no tag cache: every access fetches metadata from the DRAM array
 		s.st.MetaReads++
 		s.wc.AMSR++
-		sfrm := isRead && s.part.TakeSFRM()
-		s.dev.Access(a, mem.MetaReadKind, coreID, func(mem.Cycle) {
-			then(s.tags.Probe(a), sfrm)
-		})
+		op.sfrm = isRead && s.part.TakeSFRM()
+		s.dev.Access(a, mem.MetaReadKind, op.coreID, op.cb)
 		return
 	}
 	if e := s.tagCache.Lookup(a); e != nil {
 		s.st.TagCacheHits++
-		s.eng.After(s.cfg.TagCacheLat, func() { then(s.tags.Probe(a), false) })
+		s.eng.AfterArg(s.cfg.TagCacheLat, tagOpRun, op, 0)
 		return
 	}
 	s.st.TagCacheMisses++
 	s.st.MetaReads++
 	s.wc.AMSR++
-	sfrm := isRead && s.part.TakeSFRM()
-	s.dev.Access(a, mem.MetaReadKind, coreID, func(mem.Cycle) {
-		s.installTagEntry(a)
-		then(s.tags.Probe(a), sfrm)
-	})
+	op.sfrm = isRead && s.part.TakeSFRM()
+	op.inst = true
+	s.dev.Access(a, mem.MetaReadKind, op.coreID, op.cb)
 }
 
 // installTagEntry fills the SRAM tag cache; dirty victims update metadata in
@@ -272,59 +375,63 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 	}
 
 	sp.Meta()
-	s.tagPath(addr, coreID, true, func(line *cache.Line, sfrm bool) {
-		bit := s.blockBit(addr)
-		present := line != nil && line.VMask&bit != 0
-		if s.SBD != nil {
-			s.SBD.NoteReadOutcome(present)
+	s.tagPath(s.getTagOp(addr, coreID, opRead, sp, done), true)
+}
+
+// readTagKnown finishes a demand read once the sector's metadata is known
+// (the opRead continuation of tagPath).
+func (s *Sectored) readTagKnown(addr mem.Addr, coreID int, sfrm bool, sp *obs.Span, done func(mem.Cycle), line *cache.Line) {
+	bit := s.blockBit(addr)
+	present := line != nil && line.VMask&bit != 0
+	if s.SBD != nil {
+		s.SBD.NoteReadOutcome(present)
+	}
+	if s.BATMAN != nil {
+		s.BATMAN.NoteLookup(present)
+	}
+	if present {
+		s.st.ReadHits++
+		s.wc.AMSR++         // the data read this hit demands
+		s.tags.Lookup(addr) // NRU recency
+		dirty := line.DMask&bit != 0
+		if !dirty {
+			s.wc.CleanHits++
 		}
-		if s.BATMAN != nil {
-			s.BATMAN.NoteLookup(present)
+		switch {
+		case sfrm && dirty:
+			// speculative main-memory read was wasted; data must
+			// come from the cache array
+			s.st.SpecForced++
+			s.st.SpecWasted++
+			sp.Decide(stats.BDTechSFRM)
+			sp.Serve(stats.BDSrcCache)
+			s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+		case sfrm:
+			// clean hit already being served by main memory
+			s.st.SpecForced++
+			sp.Decide(stats.BDTechSFRM)
+			sp.Serve(stats.BDSrcMain)
+			s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+		case !dirty && s.part.TakeIFRM(coreID):
+			s.st.ForcedMisses++
+			sp.Decide(stats.BDTechIFRM)
+			sp.Serve(stats.BDSrcMain)
+			s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+		default:
+			sp.Decide(stats.BDTechNone)
+			sp.Serve(stats.BDSrcCache)
+			s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
 		}
-		if present {
-			s.st.ReadHits++
-			s.wc.AMSR++         // the data read this hit demands
-			s.tags.Lookup(addr) // NRU recency
-			dirty := line.DMask&bit != 0
-			if !dirty {
-				s.wc.CleanHits++
-			}
-			switch {
-			case sfrm && dirty:
-				// speculative main-memory read was wasted; data must
-				// come from the cache array
-				s.st.SpecForced++
-				s.st.SpecWasted++
-				sp.Decide(stats.BDTechSFRM)
-				sp.Serve(stats.BDSrcCache)
-				s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-			case sfrm:
-				// clean hit already being served by main memory
-				s.st.SpecForced++
-				sp.Decide(stats.BDTechSFRM)
-				sp.Serve(stats.BDSrcMain)
-				s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-			case !dirty && s.part.TakeIFRM(coreID):
-				s.st.ForcedMisses++
-				sp.Decide(stats.BDTechIFRM)
-				sp.Serve(stats.BDSrcMain)
-				s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-			default:
-				sp.Decide(stats.BDTechNone)
-				sp.Serve(stats.BDSrcCache)
-				s.dev.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-			}
-			return
-		}
-		// read miss
-		s.st.ReadMisses++
-		s.wc.AMM++
-		s.wc.Rm++
-		sp.Decide(stats.BDTechNone)
-		sp.Serve(stats.BDSrcMain)
-		s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
-		s.handleFill(addr, line)
-	})
+		return
+	}
+	// read miss
+	s.st.ReadMisses++
+	s.wc.AMM++
+	s.wc.Rm++
+	sp.Decide(stats.BDTechNone)
+	sp.Serve(stats.BDSrcMain)
+	s.mm.AccessTraced(addr, mem.ReadKind, coreID, obs.OnIssue(sp), done)
+	s.handleFill(addr, line)
 }
 
 // steerMM applies SBD's expected-latency comparison using live queue depths.
@@ -385,13 +492,7 @@ func (s *Sectored) handleFill(addr mem.Addr, line *cache.Line) {
 			return
 		}
 		b := s.blockBit(ba)
-		s.mm.Access(ba, mem.ReadKind, -1, func(mem.Cycle) {
-			if cur := s.tags.Probe(ba); cur != nil {
-				s.st.Fills++
-				cur.VMask |= b
-				s.dev.Access(ba, mem.FillKind, -1, nil)
-			}
-		})
+		s.mm.Access(ba, mem.ReadKind, -1, s.getFpOp(ba, b).cb)
 	})
 }
 
@@ -439,68 +540,76 @@ func (s *Sectored) Writeback(addr mem.Addr, coreID int) {
 		}
 	}
 
-	s.tagPath(addr, coreID, false, func(line *cache.Line, _ bool) {
-		bit := s.blockBit(addr)
-		present := line != nil && line.VMask&bit != 0
-		s.wc.AMSW++ // the cache write this eviction demands
-		if s.part.TakeWB() {
-			s.st.WriteBypasses++
-			s.mm.Access(addr, mem.WritebackKind, coreID, nil)
-			if present {
-				// the stale cache copy must be invalidated
-				line.VMask &^= bit
-				line.DMask &^= bit
-				s.markMetaDirty(addr)
-			}
-			return
-		}
+	s.tagPath(s.getTagOp(addr, coreID, opWriteback, nil, nil), false)
+}
+
+// wbTagKnown finishes a dirty L3 eviction once the sector's metadata is
+// known (the opWriteback continuation of tagPath).
+func (s *Sectored) wbTagKnown(addr mem.Addr, coreID int, line *cache.Line) {
+	bit := s.blockBit(addr)
+	present := line != nil && line.VMask&bit != 0
+	s.wc.AMSW++ // the cache write this eviction demands
+	if s.part.TakeWB() {
+		s.st.WriteBypasses++
+		s.mm.Access(addr, mem.WritebackKind, coreID, nil)
 		if present {
-			s.st.WriteHits++
-			line.DMask |= bit
-			s.tags.Lookup(addr)
-		} else {
-			s.st.WriteMisses++
-			if line == nil {
-				ev := s.tags.Insert(addr, false)
-				if ev.Valid {
-					s.evictSector(addr, ev)
-				}
-				line = s.tags.Probe(addr)
-			}
-			line.VMask |= bit
-			line.DMask |= bit
+			// the stale cache copy must be invalidated
+			line.VMask &^= bit
+			line.DMask &^= bit
+			s.markMetaDirty(addr)
 		}
-		s.markMetaDirty(addr)
-		s.dev.Access(addr, mem.WritebackKind, coreID, nil)
-	})
+		return
+	}
+	if present {
+		s.st.WriteHits++
+		line.DMask |= bit
+		s.tags.Lookup(addr)
+	} else {
+		s.st.WriteMisses++
+		if line == nil {
+			ev := s.tags.Insert(addr, false)
+			if ev.Valid {
+				s.evictSector(addr, ev)
+			}
+			line = s.tags.Probe(addr)
+		}
+		line.VMask |= bit
+		line.DMask |= bit
+	}
+	s.markMetaDirty(addr)
+	s.dev.Access(addr, mem.WritebackKind, coreID, nil)
 }
 
 // writeThrough writes a block to both the cache and main memory, leaving the
 // cached copy clean (SBD write-through mode). The cache side behaves like a
 // normal allocating write — write-through only adds the memory copy.
 func (s *Sectored) writeThrough(addr mem.Addr, coreID int) {
-	s.tagPath(addr, coreID, false, func(line *cache.Line, _ bool) {
-		bit := s.blockBit(addr)
-		s.wc.AMSW++
-		s.mm.Access(addr, mem.WritebackKind, coreID, nil)
-		if line != nil && line.VMask&bit != 0 {
-			s.st.WriteHits++
-		} else {
-			s.st.WriteMisses++
-			if line == nil {
-				ev := s.tags.Insert(addr, false)
-				if ev.Valid {
-					s.evictSector(addr, ev)
-				}
-				line = s.tags.Probe(addr)
+	s.tagPath(s.getTagOp(addr, coreID, opWriteThrough, nil, nil), false)
+}
+
+// wtTagKnown finishes an SBD write-through once the sector's metadata is
+// known (the opWriteThrough continuation of tagPath).
+func (s *Sectored) wtTagKnown(addr mem.Addr, coreID int, line *cache.Line) {
+	bit := s.blockBit(addr)
+	s.wc.AMSW++
+	s.mm.Access(addr, mem.WritebackKind, coreID, nil)
+	if line != nil && line.VMask&bit != 0 {
+		s.st.WriteHits++
+	} else {
+		s.st.WriteMisses++
+		if line == nil {
+			ev := s.tags.Insert(addr, false)
+			if ev.Valid {
+				s.evictSector(addr, ev)
 			}
-			line.VMask |= bit
+			line = s.tags.Probe(addr)
 		}
-		line.DMask &^= bit // clean: main memory holds the latest copy
-		s.tags.Lookup(addr)
-		s.markMetaDirty(addr)
-		s.dev.Access(addr, mem.WritebackKind, coreID, nil)
-	})
+		line.VMask |= bit
+	}
+	line.DMask &^= bit // clean: main memory holds the latest copy
+	s.tags.Lookup(addr)
+	s.markMetaDirty(addr)
+	s.dev.Access(addr, mem.WritebackKind, coreID, nil)
 }
 
 // cleanPage writes out all dirty blocks of a page falling out of SBD's

@@ -179,3 +179,45 @@ func TestBATMANCapsAtHalf(t *testing.T) {
 		t.Fatalf("disabled = %d, must cap at half the sets", b.DisabledSets())
 	}
 }
+
+// TestSBDEvictionDeterministic is a regression test for nondeterministic
+// Dirty List eviction: when several pages tie at the minimal recent write
+// count, the victim used to be whichever tied page Go's randomized map
+// iteration visited first, making whole SBD simulations unreproducible.
+// The tie-break is now the lowest page address, independent of insertion
+// order and map layout.
+func TestSBDEvictionDeterministic(t *testing.T) {
+	promote := func(s *SBD, p mem.Addr) {
+		for i := 0; i < 64 && !s.InDirtyList(p); i++ {
+			s.NoteWrite(p)
+		}
+		if !s.InDirtyList(p) {
+			t.Fatalf("page %#x never promoted", p)
+		}
+	}
+	// Different insertion orders of the same tied pages must all evict the
+	// lowest address. Each trial uses a fresh SBD so every listed page
+	// keeps the count 0 it was promoted with (a guaranteed 4-way tie).
+	orders := [][]mem.Addr{
+		{0x100, 0x200, 0x300, 0x400},
+		{0x400, 0x300, 0x200, 0x100},
+		{0x300, 0x100, 0x400, 0x200},
+		{0x200, 0x400, 0x100, 0x300},
+	}
+	for trial, order := range orders {
+		s := NewSBD(false)
+		s.ListCap = len(order)
+		for _, p := range order {
+			promote(s, p)
+		}
+		var ev mem.Addr
+		for i := 0; i < 64 && !s.InDirtyList(0x500); i++ {
+			if e, c := s.NoteWrite(0x500); c {
+				ev = e
+			}
+		}
+		if ev != 0x100 {
+			t.Fatalf("trial %d: evicted %#x, want lowest tied page 0x100", trial, ev)
+		}
+	}
+}

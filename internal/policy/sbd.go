@@ -112,12 +112,16 @@ func (s *SBD) NoteWrite(page mem.Addr) (evicted mem.Addr, mustClean bool) {
 	}
 	s.Promotions++
 	if len(s.dirty) >= s.ListCap {
-		// evict the page with the smallest recent write count
+		// Evict the page with the smallest recent write count. Ties are
+		// broken by the lower page address: map iteration order is
+		// randomized, so picking whichever tied page the range visits
+		// first would make the whole simulation non-reproducible.
 		var victim mem.Addr
 		best := ^uint32(0)
+		first := true
 		for p, c := range s.dirty {
-			if c < best {
-				victim, best = p, c
+			if first || c < best || (c == best && p < victim) {
+				victim, best, first = p, c, false
 			}
 		}
 		delete(s.dirty, victim)

@@ -10,15 +10,20 @@ import (
 
 // --- reference implementation -------------------------------------------
 //
-// refEngine is the container/heap scheduler the hand-rolled eventQueue
-// replaced: (when, seq) ordering, past-clamping, now = popped event's when.
-// It exists only as a test oracle.
+// refEngine is the container/heap scheduler the timing wheel replaced:
+// (when, seq) ordering, past-clamping, now = popped event's when. It exists
+// only as a test oracle — a plain heap has no buckets, no occupancy bitmap
+// and no overflow spill, so agreement across randomized programs pins the
+// wheel's clamp, wrap-around and overflow behavior to the simple model.
 
 type refEvent struct {
 	when mem.Cycle
 	seq  uint64
 	fn   func()
 	fnc  func(mem.Cycle)
+	fna  Handler
+	ctx  any
+	v    uint64
 }
 
 type refHeap []refEvent
@@ -58,16 +63,31 @@ func (e *refEngine) AtCall(when mem.Cycle, fn func(mem.Cycle)) {
 	heap.Push(&e.events, refEvent{when: when, seq: e.seq, fnc: fn})
 }
 
+func (e *refEngine) AtArg(when mem.Cycle, fn Handler, ctx any, v uint64) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, refEvent{when: when, seq: e.seq, fna: fn, ctx: ctx, v: v})
+}
+
 func (e *refEngine) After(delay mem.Cycle, fn func()) { e.At(e.now+delay, fn) }
+
+func (e *refEngine) AfterArg(delay mem.Cycle, fn Handler, ctx any, v uint64) {
+	e.AtArg(e.now+delay, fn, ctx, v)
+}
 
 func (e *refEngine) Drain() {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(refEvent)
 		e.now = ev.when
-		if ev.fn != nil {
+		switch {
+		case ev.fn != nil:
 			ev.fn()
-		} else {
+		case ev.fnc != nil:
 			ev.fnc(ev.when)
+		default:
+			ev.fna(ev.ctx, ev.v, ev.when)
 		}
 	}
 }
@@ -77,7 +97,9 @@ type scheduler interface {
 	Now() mem.Cycle
 	At(mem.Cycle, func())
 	AtCall(mem.Cycle, func(mem.Cycle))
+	AtArg(mem.Cycle, Handler, any, uint64)
 	After(mem.Cycle, func())
+	AfterArg(mem.Cycle, Handler, any, uint64)
 	Drain()
 }
 
@@ -94,54 +116,81 @@ func (x *xorshift) next() uint64 {
 	return uint64(v)
 }
 
+// program is the randomized-schedule state shared by the closures and the
+// typed AtArg handler (which, being a top-level function, reaches it
+// through ctx).
+type program struct {
+	s      scheduler
+	log    []string
+	rng    xorshift
+	budget int // total events; bounds the recursive rescheduling
+}
+
+// progArgEvent is the AtArg/AfterArg callback: v packs (id, depth).
+func progArgEvent(ctx any, v uint64, t mem.Cycle) {
+	p := ctx.(*program)
+	id, depth := int(v>>8), int(v&0xff)
+	p.log = append(p.log, fmt.Sprintf("arg:%d@%d(t=%d)", id, p.s.Now(), t))
+	if depth < 3 && p.rng.next()%2 == 0 {
+		p.schedule(id*7+4, depth+1)
+	}
+}
+
+func (p *program) schedule(id, depth int) {
+	if p.budget <= 0 {
+		return
+	}
+	p.budget--
+	s := p.s
+	switch p.rng.next() % 5 {
+	case 0: // plain At in the near future, possibly in the past (clamped)
+		when := mem.Cycle(p.rng.next() % 2048)
+		if p.rng.next()%4 == 0 && s.Now() > 16 {
+			when = s.Now() - mem.Cycle(p.rng.next()%16) - 1 // strictly past
+		}
+		s.At(when, func() {
+			p.log = append(p.log, fmt.Sprintf("at:%d@%d", id, s.Now()))
+			if depth < 3 && p.rng.next()%2 == 0 {
+				p.schedule(id*7+1, depth+1)
+			}
+		})
+	case 1: // AtCall: the callback receives its run cycle; the range
+		// straddles the wheel boundary, so some land in the overflow heap
+		when := s.Now() + mem.Cycle(p.rng.next()%6000)
+		s.AtCall(when, func(t mem.Cycle) {
+			p.log = append(p.log, fmt.Sprintf("call:%d@%d(t=%d)", id, s.Now(), t))
+			if depth < 3 && p.rng.next()%2 == 0 {
+				p.schedule(id*7+2, depth+1)
+			}
+		})
+	case 2: // relative, near future (wheel path, wraps as now advances)
+		s.After(mem.Cycle(p.rng.next()%512), func() {
+			p.log = append(p.log, fmt.Sprintf("after:%d@%d", id, p.s.Now()))
+			if depth < 3 && p.rng.next()%3 == 0 {
+				p.schedule(id*7+3, depth+1)
+			}
+		})
+	case 3: // AtArg far in the future: always beyond the wheel horizon,
+		// exercising the overflow spill and its (when, seq) merge on pop
+		when := s.Now() + mem.Cycle(4100+p.rng.next()%16000)
+		s.AtArg(when, progArgEvent, p, uint64(id)<<8|uint64(depth))
+	default: // AfterArg with a delay straddling the wheel boundary
+		s.AfterArg(mem.Cycle(p.rng.next()%5000), progArgEvent, p, uint64(id)<<8|uint64(depth))
+	}
+}
+
 // runProgram executes a randomized schedule against s and returns the
 // execution log: one entry per executed callback recording its identity and
 // the cycle it observed. Executed callbacks reschedule follow-up events —
-// including At calls in the past (exercising the clamp) and AtCall events —
-// driven by an RNG whose draws depend only on execution order, so two
-// engines produce identical logs iff they execute events in exactly the
-// same order at the same times.
+// At calls in the past (exercising the clamp), AtCall events, and
+// AtArg/AfterArg events near and far beyond the wheel horizon (exercising
+// wrap-around and the overflow heap) — driven by an RNG whose draws depend
+// only on execution order, so two engines produce identical logs iff they
+// execute events in exactly the same order at the same times.
 func runProgram(seed uint64, s scheduler) []string {
-	var log []string
-	rng := xorshift(seed | 1)
-	budget := 4000 // total events; bounds the recursive rescheduling
-	var schedule func(id int, depth int)
-	schedule = func(id int, depth int) {
-		if budget <= 0 {
-			return
-		}
-		budget--
-		switch rng.next() % 3 {
-		case 0: // plain At, possibly in the past (clamped)
-			when := mem.Cycle(rng.next() % 2048)
-			if rng.next()%4 == 0 && s.Now() > 16 {
-				when = s.Now() - mem.Cycle(rng.next()%16) - 1 // strictly past
-			}
-			s.At(when, func() {
-				log = append(log, fmt.Sprintf("at:%d@%d", id, s.Now()))
-				if depth < 3 && rng.next()%2 == 0 {
-					schedule(id*7+1, depth+1)
-				}
-			})
-		case 1: // AtCall: the callback receives its (clamped) run cycle
-			when := mem.Cycle(rng.next() % 2048)
-			s.AtCall(when, func(t mem.Cycle) {
-				log = append(log, fmt.Sprintf("call:%d@%d(t=%d)", id, s.Now(), t))
-				if depth < 3 && rng.next()%2 == 0 {
-					schedule(id*7+2, depth+1)
-				}
-			})
-		default: // relative
-			s.After(mem.Cycle(rng.next()%512), func() {
-				log = append(log, fmt.Sprintf("after:%d@%d", id, s.Now()))
-				if depth < 3 && rng.next()%3 == 0 {
-					schedule(id*7+3, depth+1)
-				}
-			})
-		}
-	}
+	p := &program{s: s, rng: xorshift(seed | 1), budget: 4000}
 	for i := 0; i < 400; i++ {
-		schedule(i, 0)
+		p.schedule(i, 0)
 		// interleave partial drains so some scheduling happens mid-run,
 		// with time advanced — that is what makes past-clamping reachable
 		if i%97 == 96 {
@@ -149,14 +198,15 @@ func runProgram(seed uint64, s scheduler) []string {
 		}
 	}
 	s.Drain()
-	return log
+	return p.log
 }
 
-// TestEventQueueMatchesContainerHeap is the property test for the
-// hand-rolled heap: across randomized interleavings of At/AtCall/After and
-// partial drains — including events scheduled in the past and (when, seq)
-// ties — the Engine executes callbacks in exactly the order and at exactly
-// the times the container/heap reference does.
+// TestEventQueueMatchesContainerHeap is the property test for the timing
+// wheel: across randomized interleavings of At/AtCall/AtArg/After/AfterArg
+// and partial drains — including events scheduled in the past (clamped),
+// beyond the wheel horizon (overflow spill), across bucket wrap-around,
+// and with (when, seq) ties — the Engine executes callbacks in exactly the
+// order and at exactly the times the container/heap reference does.
 func TestEventQueueMatchesContainerHeap(t *testing.T) {
 	for seed := uint64(1); seed <= 25; seed++ {
 		got := runProgram(seed, New())
@@ -182,7 +232,11 @@ func TestTieBreakIsInsertionOrder(t *testing.T) {
 	e.At(10, func() { order = append(order, 0) })
 	e.AtCall(10, func(mem.Cycle) { order = append(order, 1) })
 	e.After(10, func() { order = append(order, 2) })
-	e.At(10, func() { order = append(order, 3) })
+	e.AtArg(10, func(ctx any, v uint64, _ mem.Cycle) {
+		p := ctx.(*[]int)
+		*p = append(*p, int(v))
+	}, &order, 3)
+	e.At(10, func() { order = append(order, 4) })
 	e.Drain()
 	for i, v := range order {
 		if v != i {
@@ -193,17 +247,21 @@ func TestTieBreakIsInsertionOrder(t *testing.T) {
 
 var sinkCount int
 
-func countEvent()            { sinkCount++ }
-func countEventAt(mem.Cycle) { sinkCount++ }
+func countEvent()                          { sinkCount++ }
+func countEventAt(mem.Cycle)               { sinkCount++ }
+func countEventArg(any, uint64, mem.Cycle) { sinkCount++ }
 
-// TestSchedulePathAllocs asserts the point of the heap rewrite: once the
-// queue's backing array is warm, scheduling and dispatching an event incurs
-// zero heap allocations — container/heap's interface boxing cost one per
-// event.
+// TestSchedulePathAllocs asserts the point of the timing-wheel rewrite:
+// once the wheel's buckets and the overflow heap are warm, scheduling and
+// dispatching an event — through every schedule form, near-future (wheel)
+// or far-future (overflow) — incurs zero heap allocations.
 func TestSchedulePathAllocs(t *testing.T) {
 	e := New()
-	for i := 0; i < 1024; i++ { // grow the backing array once
+	for i := 0; i < 1024; i++ { // grow bucket backing arrays once
 		e.After(mem.Cycle(i%64), countEvent)
+	}
+	for i := 0; i < 512; i++ { // grow the overflow heap once
+		e.After(wheelSize+mem.Cycle(i), countEvent)
 	}
 	e.Drain()
 	if a := testing.AllocsPerRun(1000, func() {
@@ -217,5 +275,18 @@ func TestSchedulePathAllocs(t *testing.T) {
 		e.Step()
 	}); a != 0 {
 		t.Fatalf("AtCall+Step allocates %.1f times per event, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(3, countEventArg, e, 7)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("AfterArg+Step allocates %.1f times per event, want 0", a)
+	}
+	// far-future: the event spills to the overflow heap and pops from it
+	if a := testing.AllocsPerRun(1000, func() {
+		e.AtArg(e.Now()+wheelSize+100, countEventArg, e, 7)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("overflow AtArg+Step allocates %.1f times per event, want 0", a)
 	}
 }

@@ -1,37 +1,71 @@
 // Package sim provides the discrete-event simulation engine that drives the
-// whole memory-hierarchy model. Components schedule closures at absolute or
+// whole memory-hierarchy model. Components schedule callbacks at absolute or
 // relative cycle times; the engine executes them in time order with a
 // deterministic tie-break so that simulations are exactly reproducible.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dap/internal/mem"
 )
 
-// event is a scheduled callback. Exactly one of fn and fnc is set: fn is a
-// plain closure, fnc receives the cycle the event runs at (AtCall), which
-// lets completion paths schedule a pre-existing func(Cycle) without
-// wrapping it in a fresh closure.
+// Handler is a typed event callback: ctx is usually the receiving component
+// (a pointer, so boxing it in the interface never allocates), v is a packed
+// value argument, and now is the cycle the event runs at. Scheduling a
+// top-level Handler through AtArg/AfterArg costs no closure allocation,
+// which is why the simulator's hot completion paths use it instead of At.
+type Handler func(ctx any, v uint64, now mem.Cycle)
+
+// event is a scheduled callback. Exactly one of fn, fnc and fna is set: fn
+// is a plain closure, fnc receives the cycle the event runs at (AtCall),
+// and fna is a typed Handler with its ctx/v payload (AtArg).
 type event struct {
 	when mem.Cycle
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   func()
 	fnc  func(mem.Cycle)
+	fna  Handler
+	ctx  any
+	v    uint64
 }
 
-// eventQueue is a hand-rolled binary min-heap ordered by (when, seq). It
-// replaces container/heap to keep events out of interface boxes: pushing
-// through heap.Interface converts every event to `any`, costing one heap
-// allocation per scheduled event on the hottest path of the simulator.
-// Because seq is unique, (when, seq) is a total order, so any correct heap
-// pops events in exactly the same sequence — the execution order (and thus
-// every simulation result) is bit-identical to the container/heap version.
-type eventQueue []event
+// The timing wheel exploits the fact that nearly every event in this
+// simulator is scheduled a bounded, small number of cycles ahead: DRAM
+// timing parameters and the channel reservation horizon are a few hundred
+// cycles, tag/DBC latencies single digits, and core wake-ups rarely more
+// than a few thousand. Those events go into a ring of wheelSize one-cycle
+// buckets, giving O(1) schedule and pop; the rare far-future events
+// (refresh ticks, DAP window boundaries, watchdog-scale timers) spill into
+// a conventional binary heap that is consulted only at pop time.
+const (
+	wheelBits  = 12
+	wheelSize  = 1 << wheelBits // cycles of near-future coverage
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64 // occupancy-bitmap words
+)
 
-// before reports strict (when, seq) ordering between two queue slots.
-func (q eventQueue) before(i, j int) bool {
+// bucket holds the events of one wheel slot. Because every resident event
+// satisfies now <= when < now+wheelSize, a slot maps to exactly one
+// absolute cycle at any moment, and appending preserves seq order — so a
+// bucket is always sorted by (when, seq) with no per-push work. head
+// avoids memmoves when draining; the backing array is reused forever.
+type bucket struct {
+	evs  []event
+	head int
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (when, seq). It
+// holds only the overflow events scheduled at least wheelSize cycles
+// ahead; everything else bypasses it. Keeping it hand-rolled (rather than
+// container/heap) keeps events out of interface boxes: pushing through
+// heap.Interface converts every event to `any`, costing one heap
+// allocation per scheduled event.
+type eventHeap []event
+
+// before reports strict (when, seq) ordering between two heap slots.
+func (q eventHeap) before(i, j int) bool {
 	if q[i].when != q[j].when {
 		return q[i].when < q[j].when
 	}
@@ -39,7 +73,7 @@ func (q eventQueue) before(i, j int) bool {
 }
 
 // push appends an event and sifts it up to its heap position.
-func (q *eventQueue) push(ev event) {
+func (q *eventHeap) push(ev event) {
 	h := append(*q, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -56,7 +90,7 @@ func (q *eventQueue) push(ev event) {
 // pop removes and returns the minimum event, sifting the displaced tail
 // element down. The vacated tail slot is zeroed so the queue does not
 // retain the popped closure.
-func (q *eventQueue) pop() event {
+func (q *eventHeap) pop() event {
 	h := *q
 	top := h[0]
 	n := len(h) - 1
@@ -117,10 +151,21 @@ type watchdog struct {
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
+//
+// Events live in one of two structures: a timing wheel of one-cycle
+// buckets covering [now, now+wheelSize), and an overflow heap for events
+// scheduled further ahead. Both are ordered by (when, seq); pop compares
+// the wheel's earliest bucket head with the heap top, so the execution
+// order — and therefore every simulation result — is bit-identical to a
+// single (when, seq) priority queue.
 type Engine struct {
-	now    mem.Cycle
-	seq    uint64
-	events eventQueue
+	now mem.Cycle
+	seq uint64
+
+	buckets  []bucket           // wheel ring, allocated on first use
+	occ      [wheelWords]uint64 // one bit per non-empty bucket
+	nwheel   int                // events resident in the wheel
+	overflow eventHeap          // events >= wheelSize cycles ahead
 
 	wd  *watchdog
 	err error
@@ -137,6 +182,34 @@ func (e *Engine) Now() mem.Cycle { return e.now }
 // depend on the engine itself.
 func (e *Engine) Clock() func() mem.Cycle { return e.Now }
 
+// schedule places a clamped, sequenced event into the wheel or, when it
+// lies beyond the wheel's coverage, into the overflow heap. The overflow
+// never migrates into the wheel: pop compares both structures directly, so
+// a far-future event is simply served from the heap when its time comes.
+func (e *Engine) schedule(ev event) {
+	if ev.when-e.now < wheelSize {
+		if e.buckets == nil {
+			// One backing array seeds every bucket with capacity 1 (the
+			// common steady-state occupancy), so rotating through fresh
+			// slots costs no per-bucket warm-up allocation. The cap on
+			// each sub-slice stops a growing bucket from overwriting its
+			// neighbour: append beyond one event reallocates privately.
+			e.buckets = make([]bucket, wheelSize)
+			backing := make([]event, wheelSize)
+			for i := range e.buckets {
+				e.buckets[i].evs = backing[i : i : i+1]
+			}
+		}
+		slot := int(ev.when) & wheelMask
+		b := &e.buckets[slot]
+		b.evs = append(b.evs, ev)
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+		e.nwheel++
+		return
+	}
+	e.overflow.push(ev)
+}
+
 // At schedules fn to run at absolute cycle when. Scheduling in the past is
 // clamped to the current cycle (the event runs before time advances).
 func (e *Engine) At(when mem.Cycle, fn func()) {
@@ -144,7 +217,7 @@ func (e *Engine) At(when mem.Cycle, fn func()) {
 		when = e.now
 	}
 	e.seq++
-	e.events.push(event{when: when, seq: e.seq, fn: fn})
+	e.schedule(event{when: when, seq: e.seq, fn: fn})
 }
 
 // AtCall schedules fn to run at absolute cycle when, passing it the cycle
@@ -157,7 +230,20 @@ func (e *Engine) AtCall(when mem.Cycle, fn func(mem.Cycle)) {
 		when = e.now
 	}
 	e.seq++
-	e.events.push(event{when: when, seq: e.seq, fnc: fn})
+	e.schedule(event{when: when, seq: e.seq, fnc: fn})
+}
+
+// AtArg schedules the typed handler fn(ctx, v, when) at absolute cycle
+// when (past-clamped like At). Passing a top-level function and a pointer
+// ctx makes scheduling completely allocation-free, which is what the
+// simulator's per-access paths (channel scheduler kicks, core wake-ups,
+// load completions) use instead of capturing closures.
+func (e *Engine) AtArg(when mem.Cycle, fn Handler, ctx any, v uint64) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	e.schedule(event{when: when, seq: e.seq, fna: fn, ctx: ctx, v: v})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -165,8 +251,78 @@ func (e *Engine) After(delay mem.Cycle, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// AfterArg schedules the typed handler fn(ctx, v, t) delay cycles from now
+// (the allocation-free counterpart of After; see AtArg).
+func (e *Engine) AfterArg(delay mem.Cycle, fn Handler, ctx any, v uint64) {
+	e.AtArg(e.now+delay, fn, ctx, v)
+}
+
 // Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.nwheel + len(e.overflow) }
+
+// wheelScan returns the slot of the earliest non-empty wheel bucket, which
+// — because every resident event's cycle lies in [now, now+wheelSize) —
+// is the first occupied slot in circular order from now's slot. Must only
+// be called with nwheel > 0.
+func (e *Engine) wheelScan() int {
+	s := int(e.now) & wheelMask
+	w := s >> 6
+	word := e.occ[w] &^ (1<<uint(s&63) - 1) // ignore slots before now
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w = (w + 1) & (wheelWords - 1)
+		word = e.occ[w]
+	}
+}
+
+// nextWhen reports the cycle of the earliest pending event.
+func (e *Engine) nextWhen() (mem.Cycle, bool) {
+	switch {
+	case e.nwheel == 0 && len(e.overflow) == 0:
+		return 0, false
+	case e.nwheel == 0:
+		return e.overflow[0].when, true
+	}
+	slot := e.wheelScan()
+	b := &e.buckets[slot]
+	when := b.evs[b.head].when
+	if len(e.overflow) > 0 && e.overflow[0].when < when {
+		return e.overflow[0].when, true
+	}
+	return when, true
+}
+
+// pop removes and returns the earliest event by (when, seq), comparing the
+// wheel's first occupied bucket against the overflow heap top.
+func (e *Engine) pop() (event, bool) {
+	if e.nwheel == 0 {
+		if len(e.overflow) == 0 {
+			return event{}, false
+		}
+		return e.overflow.pop(), true
+	}
+	slot := e.wheelScan()
+	b := &e.buckets[slot]
+	head := &b.evs[b.head]
+	if len(e.overflow) > 0 {
+		if top := &e.overflow[0]; top.when < head.when ||
+			(top.when == head.when && top.seq < head.seq) {
+			return e.overflow.pop(), true
+		}
+	}
+	ev := *head
+	*head = event{} // release closure/ctx references
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		e.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	e.nwheel--
+	return ev, true
+}
 
 // watchdogChecks is how many stale samples in a row trip the watchdog; the
 // sample interval is staleEvents / watchdogChecks executed events.
@@ -214,15 +370,21 @@ func (e *Engine) Err() error { return e.err }
 // Step executes the next event. It reports false when no events remain or
 // the engine has failed.
 func (e *Engine) Step() bool {
-	if e.err != nil || len(e.events) == 0 {
+	if e.err != nil {
 		return false
 	}
-	ev := e.events.pop()
+	ev, ok := e.pop()
+	if !ok {
+		return false
+	}
 	e.now = ev.when
-	if ev.fn != nil {
+	switch {
+	case ev.fn != nil:
 		ev.fn()
-	} else {
+	case ev.fnc != nil:
 		ev.fnc(ev.when)
+	default:
+		ev.fna(ev.ctx, ev.v, ev.when)
 	}
 	if w := e.wd; w != nil {
 		w.count++
@@ -239,7 +401,7 @@ func (e *Engine) Step() bool {
 				e.Fail(&StallError{
 					Cycle:    e.now,
 					Events:   uint64(w.batch) * uint64(w.stale),
-					Pending:  len(e.events),
+					Pending:  e.Pending(),
 					Snapshot: snap,
 				})
 			}
@@ -253,7 +415,11 @@ func (e *Engine) Step() bool {
 // executed event (or at limit if the queue drains earlier than limit with
 // no event at/after it); a failed engine does not advance time.
 func (e *Engine) RunUntil(limit mem.Cycle) {
-	for e.err == nil && len(e.events) > 0 && e.events[0].when <= limit {
+	for e.err == nil {
+		when, ok := e.nextWhen()
+		if !ok || when > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.err == nil && e.now < limit {
