@@ -4,9 +4,9 @@
 # exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-gate bench-cmp bench-figures runner-race obs-check pool-debug telemetry-race serve-smoke trace-demo profile
+.PHONY: check vet build test race bench bench-gate bench-cmp bench-figures runner-race obs-check pool-debug telemetry-race queue-race serve-smoke crash-smoke trace-demo profile
 
-check: vet build race runner-race obs-check pool-debug telemetry-race serve-smoke bench-gate
+check: vet build race runner-race obs-check pool-debug telemetry-race queue-race serve-smoke crash-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -34,11 +34,26 @@ telemetry-race:
 	$(GO) vet ./internal/telemetry/...
 	$(GO) test -race ./internal/telemetry/... -count=1
 
+# queue-race runs the sweep-service packages — the durable job queue with
+# its WAL/lease/backoff machinery and the crash-consistent result store —
+# under the race detector: workers, reaper, heartbeats and checkpointing
+# all race against each other by design.
+queue-race:
+	$(GO) vet ./internal/jobqueue/... ./internal/store/...
+	$(GO) test -race -count=1 ./internal/jobqueue/... ./internal/store/...
+
 # serve-smoke boots `dapsim -serve` on a random port (race detector on),
 # curls /healthz and /metrics, asserts the DAP credit and runner pool
 # families are exposed, and checks clean shutdown on SIGINT.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# crash-smoke SIGKILLs a running sweep service mid-sweep and verifies the
+# restarted process resumes from its journal: all jobs done, all results
+# served, clean SIGINT exit. The in-process counterpart lives in
+# internal/harness/sweep_crash_test.go.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # runner-race exercises the worker pool and the parallel experiment drivers
 # under the race detector: the full runner suite (ordering, panic/error

@@ -8,8 +8,12 @@
 //	go run ./cmd/benchcmp -threshold 5 old.json new.json
 //	make bench-cmp BASE=BENCH_PR3.json HEAD=BENCH_HEAD.json
 //
-// Benchmarks present in only one file are reported but never gate; noise on
-// sub-threshold deltas is tolerated by design (the default gate is 10%).
+// A benchmark present in the baseline but missing from the head report is a
+// hard failure: a silently vanished benchmark usually means a renamed or
+// deleted benchmark function, and letting it pass would hide exactly the
+// regressions the gate exists to catch. Benchmarks new in head are reported
+// but never gate; noise on sub-threshold deltas is tolerated by design (the
+// default gate is 10%).
 package main
 
 import (
@@ -86,7 +90,11 @@ func compare(base, head report, basePath, headPath string, threshold float64, st
 	for _, b := range base.Benchmarks { // base order keeps the table stable
 		h, ok := headBy[b.Name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  (removed)\n", b.Name, fmtNs(b.NsPerOp), "-", "-", "-")
+			// Present in base, gone in head: hard failure. A benchmark that
+			// silently disappears (renamed, deleted, build-tagged away) would
+			// otherwise let any regression in it sail through the gate.
+			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  MISSING\n", b.Name, fmtNs(b.NsPerOp), "-", "-", "-")
+			regressions++
 			continue
 		}
 		dns := pctDelta(b.NsPerOp, h.NsPerOp)
@@ -106,7 +114,7 @@ func compare(base, head report, basePath, headPath string, threshold float64, st
 	}
 
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "\nbenchcmp: %d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold)
+		fmt.Fprintf(stderr, "\nbenchcmp: %d benchmark(s) regressed beyond %.0f%% or missing from head\n", regressions, threshold)
 		return 1
 	}
 	fmt.Fprintf(stdout, "\nbenchcmp: no regression beyond %.0f%%\n", threshold)

@@ -23,12 +23,12 @@ func TestRegressionGate(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
 	}
-	if !strings.Contains(stderr, "2 benchmark(s) regressed") {
+	if !strings.Contains(stderr, "3 benchmark(s) regressed beyond 10% or missing") {
 		t.Errorf("stderr missing regression count: %q", stderr)
 	}
 	for _, want := range []string{
 		"BenchmarkEngineEventLoop", "REGRESSION",
-		"BenchmarkRemovedInHead", "(removed)",
+		"BenchmarkRemovedInHead", "MISSING",
 		"BenchmarkNewInHead", "(new)",
 	} {
 		if !strings.Contains(stdout, want) {
@@ -51,6 +51,30 @@ func TestWithinThresholdPasses(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "no regression") {
 		t.Errorf("missing pass line:\n%s", stdout)
+	}
+}
+
+// TestMissingBenchmarkIsHardFailure: a head report that lacks a baseline
+// benchmark must fail the gate even when every shared benchmark is within
+// threshold — a vanished benchmark silently passing was the old behavior
+// this pins down.
+func TestMissingBenchmarkIsHardFailure(t *testing.T) {
+	code, stdout, stderr := runFixture(t,
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_missing.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "1 benchmark(s) regressed beyond 10% or missing") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	var missingLine string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.Contains(line, "BenchmarkRemovedInHead") {
+			missingLine = line
+		}
+	}
+	if !strings.Contains(missingLine, "MISSING") {
+		t.Errorf("missing benchmark not marked MISSING: %q", missingLine)
 	}
 }
 

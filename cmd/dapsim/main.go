@@ -56,8 +56,18 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 		serveAddr    = flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address (e.g. :8080, :0 = any free port); keeps serving after the run until interrupted")
+		sweepDir     = flag.String("sweep-dir", "", "run as a durable sweep service: job queue + result store under this directory, API on the -serve address (requires -serve)")
+		sweepWorkers = flag.Int("sweep-workers", 0, "sweep service worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *sweepDir != "" {
+		if *serveAddr == "" {
+			fatalf("-sweep-dir requires -serve (the API mounts on the telemetry address)")
+		}
+		runSweepService(*serveAddr, *sweepDir, *sweepWorkers)
+		return
+	}
 
 	if *serveAddr != "" {
 		srv, bound, err := dap.Serve(*serveAddr)
@@ -99,34 +109,12 @@ func main() {
 	if *warm > 0 {
 		cfg.WarmAccesses = *warm
 	}
-	switch *arch {
-	case "sectored":
-		cfg.Arch = dap.SectoredDRAMCache
-	case "alloy":
-		cfg.Arch = dap.AlloyCache
-	case "edram":
-		cfg.Arch = dap.SectoredEDRAM
-	case "none":
-		cfg.Arch = dap.MainMemoryOnly
-	default:
-		fatalf("unknown arch %q", *arch)
-	}
-	switch *policy {
-	case "baseline":
-		cfg.Policy = dap.PolicyBaseline
-	case "dap":
-		cfg.Policy = dap.PolicyDAP
-	case "dap-fwb-wb":
-		cfg.Policy = dap.PolicyDAPFWBWB
-	case "sbd":
-		cfg.Policy = dap.PolicySBD
-	case "sbd-wt":
-		cfg.Policy = dap.PolicySBDWT
-	case "batman":
-		cfg.Policy = dap.PolicyBATMAN
-	default:
-		fatalf("unknown policy %q", *policy)
-	}
+	archVal, err := dap.ParseArchitecture(*arch)
+	fatalIf(err)
+	cfg.Arch = archVal
+	polVal, err := dap.ParsePolicyName(*policy)
+	fatalIf(err)
+	cfg.Policy = polVal
 	if *capMB > 0 {
 		cfg.Sectored.CapacityBytes = *capMB << 20
 		cfg.Alloy.CapacityBytes = *capMB << 20
@@ -230,6 +218,32 @@ func main() {
 	report(r)
 	if r.Breakdown != nil && r.Breakdown.Spans() > 0 {
 		fmt.Print(r.Breakdown.String())
+	}
+}
+
+// runSweepService runs dapsim as the durable sweep service until
+// interrupted: telemetry + sweep API on addr, queue and result store under
+// dir. Shutdown drains in-flight jobs, checkpoints the queue and exits 0;
+// a SIGKILLed process instead resumes from its journal on the next start.
+func runSweepService(addr, dir string, workers int) {
+	srv, svc, bound, err := dap.ServeSweeps(addr, dir, workers)
+	fatalIf(err)
+	fmt.Printf("sweep service: serving on http://%s (state in %s)\n", bound, dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("sweep service: draining in-flight jobs")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Close(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dapsim: sweep service close: %v\n", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dapsim: telemetry shutdown: %v\n", err)
 	}
 }
 

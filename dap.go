@@ -21,14 +21,17 @@ package dap
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"dap/internal/core"
 	"dap/internal/faultinject"
 	"dap/internal/harness"
+	"dap/internal/jobqueue"
 	"dap/internal/obs"
 	"dap/internal/sim"
 	"dap/internal/stats"
+	"dap/internal/store"
 	"dap/internal/telemetry"
 	"dap/internal/workload"
 )
@@ -271,6 +274,57 @@ func Serve(addr string) (*TelemetryServer, string, error) {
 		return nil, "", err
 	}
 	return srv, bound, nil
+}
+
+// ParseArchitecture resolves an architecture name ("sectored", "alloy",
+// "edram", "none") to its enum, with an error listing the valid names.
+func ParseArchitecture(name string) (Architecture, error) { return harness.ParseArch(name) }
+
+// ParsePolicyName resolves a policy name ("baseline", "dap", "dap-fwb-wb",
+// "sbd", "sbd-wt", "batman") to its enum.
+func ParsePolicyName(name string) (Policy, error) { return harness.ParsePolicy(name) }
+
+// SweepService is the durable sweep execution service behind
+// `dapsim -serve -sweep-dir`: a crash-safe job queue (WAL + checkpoints)
+// feeding a worker pool, with leases, retry-with-backoff, a dead-letter
+// list and a crash-consistent result store keyed by configuration
+// fingerprint. See ServeSweeps.
+type SweepService = jobqueue.Service
+
+// SweepSpec is the client-facing sweep request: the cross product of
+// mixes × archs × policies × seeds (POST /jobs).
+type SweepSpec = jobqueue.SweepSpec
+
+// ServeSweeps starts the telemetry server on addr with the sweep service
+// mounted on it (POST/GET/DELETE /jobs, /jobs/{id}/results, /deadletters).
+// State lives under dir ("queue/" and "results/"): a process killed at any
+// point reopens the same dir, replays its journal and resumes the sweep —
+// completed jobs are served from the result store, not re-simulated. Stop
+// with svc.Close then srv.Shutdown.
+func ServeSweeps(addr, dir string, workers int) (*TelemetryServer, *SweepService, string, error) {
+	q, err := jobqueue.Open(harness.SweepQueueConfig(filepath.Join(dir, "queue")))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	st, err := store.Open(filepath.Join(dir, "results"))
+	if err != nil {
+		q.Close() //nolint:errcheck // surfacing the open error
+		return nil, nil, "", err
+	}
+	svc := jobqueue.NewService(q, st, harness.SweepExecutor, jobqueue.ServiceConfig{Workers: workers})
+	if _, _, err := svc.Reconcile(); err != nil {
+		q.Close() //nolint:errcheck // surfacing the reconcile error
+		return nil, nil, "", err
+	}
+	srv := telemetry.NewServer(telemetry.Default, telemetry.Runs)
+	jobqueue.NewAPI(svc).Attach(srv)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		q.Close() //nolint:errcheck // surfacing the start error
+		return nil, nil, "", err
+	}
+	svc.Start()
+	return srv, svc, bound, nil
 }
 
 // ConfigFingerprint condenses a configuration into a short stable hex token

@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// ServicePlan schedules process-level faults for the sweep service's chaos
+// harness — the layer above the per-request device faults of Plan. The zero
+// plan injects nothing. Like Plan, every decision is a pure function of the
+// plan and arrival counters, so a chaos run is exactly reproducible.
+type ServicePlan struct {
+	// Seed phase-shifts FailExecEvery (which executions are hit).
+	Seed uint64
+
+	// FailExecEvery makes every Nth job execution return a transient error
+	// before the simulation starts (1 = every execution). The job queue must
+	// absorb these through retry-with-backoff. 0 disables.
+	FailExecEvery uint64
+
+	// CrashBeforePut terminates the process (via Exit) immediately before
+	// the Nth result-store write — the "crash between WAL lease append and
+	// result write" point. The job is journaled as leased but no result
+	// exists; recovery must re-queue and re-execute it. 0 disables.
+	CrashBeforePut uint64
+	// CrashAfterPut terminates the process immediately after the Nth
+	// result-store write completes — the "result durable but completion
+	// never journaled" point. Recovery must observe the stored result and
+	// mark the job done without re-simulating. 0 disables.
+	CrashAfterPut uint64
+
+	// CrashExitCode is the exit status used by the crash points (0 = 7), so
+	// a supervising test can tell a chaos crash from any other failure.
+	CrashExitCode int
+}
+
+// ServiceChaos executes a ServicePlan. Attach one to a jobqueue service;
+// its counters observe the service's execution order.
+type ServiceChaos struct {
+	plan  ServicePlan
+	execs atomic.Uint64
+	puts  atomic.Uint64
+
+	// Failed counts injected executor failures (for test assertions).
+	Failed atomic.Uint64
+
+	// Exit is called at the crash points (default os.Exit); tests may
+	// substitute a panic or recorder.
+	Exit func(code int)
+}
+
+// NewServiceChaos builds a chaos injector for the plan.
+func NewServiceChaos(plan ServicePlan) *ServiceChaos {
+	if plan.CrashExitCode == 0 {
+		plan.CrashExitCode = 7
+	}
+	return &ServiceChaos{plan: plan, Exit: os.Exit}
+}
+
+// FailExec reports whether the current job execution should fail with an
+// injected transient error (and counts it).
+func (c *ServiceChaos) FailExec() bool {
+	if c == nil || c.plan.FailExecEvery == 0 {
+		return false
+	}
+	n := c.execs.Add(1) - 1
+	if (n+c.plan.Seed)%c.plan.FailExecEvery == 0 {
+		c.Failed.Add(1)
+		return true
+	}
+	return false
+}
+
+// BeforePut is called by the service immediately before a result-store
+// write; it terminates the process at the configured crash point.
+func (c *ServiceChaos) BeforePut() {
+	if c == nil {
+		return
+	}
+	n := c.puts.Add(1)
+	if c.plan.CrashBeforePut != 0 && n == c.plan.CrashBeforePut {
+		c.Exit(c.plan.CrashExitCode)
+	}
+}
+
+// AfterPut is called immediately after a result-store write completes.
+func (c *ServiceChaos) AfterPut() {
+	if c == nil {
+		return
+	}
+	if c.plan.CrashAfterPut != 0 && c.puts.Load() == c.plan.CrashAfterPut {
+		c.Exit(c.plan.CrashExitCode)
+	}
+}
+
+// String summarizes the chaos activity so far.
+func (c *ServiceChaos) String() string {
+	return fmt.Sprintf("chaos: %d executions seen, %d failures injected, %d puts seen",
+		c.execs.Load(), c.Failed.Load(), c.puts.Load())
+}
+
+// TruncateTail simulates a torn write by cutting the last n bytes off a
+// file (clamped at emptying it) — the shape a crash mid-append leaves
+// behind.
+func TruncateTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte simulates silent media corruption by XOR-flipping one byte at
+// offset (negative offsets count from the end).
+func FlipByte(path string, offset int64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("faultinject: %s is empty", path)
+	}
+	if offset < 0 {
+		offset += int64(len(raw))
+	}
+	if offset < 0 || offset >= int64(len(raw)) {
+		return fmt.Errorf("faultinject: offset %d outside %s (%d bytes)", offset, path, len(raw))
+	}
+	raw[offset] ^= 0xff
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"dap/internal/faultinject"
+	"dap/internal/runner"
+	"dap/internal/sim"
+	"dap/internal/workload"
+)
+
+// TestInjectedFaultIsolatedUnderParallelRunner covers the fault-injection ×
+// auditor interplay under the parallel runner: in a concurrently executed
+// batch, exactly the job carrying a fault plan must abort — with the
+// watchdog's *sim.StallError attributed to it — while every sibling job
+// (including audited ones) completes cleanly. A fault bleeding across jobs,
+// or an abort landing on the wrong index, is the regression this guards
+// against.
+func TestInjectedFaultIsolatedUnderParallelRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel simulations in -short mode")
+	}
+	base := Quick()
+	base.WarmAccesses = 40_000
+	base.MeasureInstr = 100_000
+	base.CPU.Cores = 2
+	base.Policy = DAP
+	spec, _ := workload.ByName("mcf")
+	mix := workload.RateMix(spec, base.CPU.Cores)
+
+	const faultyIdx = 1
+	const n = 4
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = base
+		// Siblings run with the auditor armed: the injected DRAM drops in
+		// job 1 must not trip invariants anywhere else.
+		cfgs[i].Audit = true
+		cfgs[i].AuditEvery = 1024
+	}
+	cfgs[faultyIdx].WatchdogEvents = 10_000
+	cfgs[faultyIdx].Faults = &faultinject.Plan{DropReadEvery: 1, DropReadAfter: 1000}
+
+	type outcome struct {
+		res Result
+		err error
+	}
+	outs := runner.Map(n, n, func(i int) outcome {
+		r, err := RunMixE(cfgs[i], mix)
+		return outcome{r, err}
+	})
+
+	for i, o := range outs {
+		if i == faultyIdx {
+			if o.err == nil {
+				t.Fatalf("job %d ran with every DRAM read dropped yet completed", i)
+			}
+			var stall *sim.StallError
+			if !errors.As(o.err, &stall) {
+				t.Fatalf("job %d: expected *sim.StallError, got %T: %v", i, o.err, o.err)
+			}
+			if o.res.Abort == nil {
+				t.Fatalf("job %d: Result.Abort not set on aborted run", i)
+			}
+			continue
+		}
+		if o.err != nil {
+			t.Fatalf("sibling job %d aborted: %v (fault plan bled across the batch)", i, o.err)
+		}
+		if o.res.Cycles == 0 {
+			t.Fatalf("sibling job %d produced an empty result", i)
+		}
+	}
+
+	// Clean siblings are bit-identical to a serial run of the same config:
+	// the faulty neighbor perturbed nothing.
+	serial, err := RunMixE(cfgs[0], mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].res.Cycles != serial.Cycles || outs[0].res.Cores[0].IPC() != serial.Cores[0].IPC() {
+		t.Fatal("sibling result differs from serial run of the same config")
+	}
+}

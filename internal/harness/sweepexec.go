@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dap/internal/jobqueue"
+	"dap/internal/stats"
+	"dap/internal/workload"
+)
+
+// This file wires the simulator into the durable sweep service: resolving
+// job specs to configurations, deriving store keys from the configuration
+// fingerprint, and executing jobs deterministically so stored results are
+// byte-for-byte interchangeable with fresh runs.
+
+// ParseArch resolves an architecture name ("sectored", "alloy", "edram",
+// "none") to its enum.
+func ParseArch(name string) (Arch, error) {
+	for _, a := range []Arch{SectoredDRAM, AlloyCache, SectoredEDRAM, NoMSCache} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown arch %q (want sectored|alloy|edram|none)", name)
+}
+
+// ParsePolicy resolves a policy name ("baseline", "dap", "dap-fwb-wb",
+// "sbd", "sbd-wt", "batman") to its enum.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range []Policy{Baseline, DAP, DAPFWBWB, SBD, SBDWT, BATMAN} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want baseline|dap|dap-fwb-wb|sbd|sbd-wt|batman)", name)
+}
+
+// sweepConfig resolves a job spec to a runnable (Config, Mix) pair.
+func sweepConfig(spec jobqueue.JobSpec) (Config, workload.Mix, error) {
+	cfg := Default()
+	if spec.Quick {
+		cfg = Quick()
+	}
+	if spec.Cores > 0 {
+		cfg.CPU.Cores = spec.Cores
+	}
+	if spec.Instr > 0 {
+		cfg.MeasureInstr = spec.Instr
+	}
+	if spec.Warm > 0 {
+		cfg.WarmAccesses = spec.Warm
+	}
+	arch, err := ParseArch(spec.Arch)
+	if err != nil {
+		return Config{}, workload.Mix{}, err
+	}
+	cfg.Arch = arch
+	pol, err := ParsePolicy(spec.Policy)
+	if err != nil {
+		return Config{}, workload.Mix{}, err
+	}
+	cfg.Policy = pol
+	mix, err := resolveMix(spec.Mix, cfg.CPU.Cores)
+	if err != nil {
+		return Config{}, workload.Mix{}, err
+	}
+	return cfg, mix, nil
+}
+
+// resolveMix finds a mix by name: first among the full suite (rate mixes
+// and heterogeneous mixes), then as a bare snippet name run rate-style.
+func resolveMix(name string, cores int) (workload.Mix, error) {
+	for _, m := range workload.AllMixes(cores) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	if s, ok := workload.ByName(name); ok {
+		return workload.RateMix(s, cores), nil
+	}
+	return workload.Mix{}, fmt.Errorf("unknown mix %q", name)
+}
+
+// SweepKey derives the store key of a job: the configuration fingerprint
+// (which covers arch, policy, core count and run lengths — see Fingerprint)
+// plus the mix name and seed. Identical requests — even from different
+// sweeps or across restarts — therefore share a key and a stored result.
+func SweepKey(spec jobqueue.JobSpec) string {
+	cfg, mix, err := sweepConfig(spec)
+	if err != nil {
+		// Unresolvable specs are caught by SweepValidate before submission;
+		// fall back to the spec string so the queue still has a stable key.
+		return "invalid-" + spec.String()
+	}
+	return fmt.Sprintf("%s-%s-s%d", Fingerprint(cfg), mix.Name, spec.Seed)
+}
+
+// SweepValidate rejects specs that do not resolve to a runnable
+// configuration, so malformed requests 400 at submission instead of
+// dead-lettering after doomed retries.
+func SweepValidate(spec jobqueue.JobSpec) error {
+	_, _, err := sweepConfig(spec)
+	return err
+}
+
+// SweepResult is the stored payload of one completed job: deterministic
+// JSON (fixed field order, integer-exact counters) so byte identity of
+// payloads is equivalent to bit identity of the simulation.
+type SweepResult struct {
+	Mix         string    `json:"mix"`
+	Arch        string    `json:"arch"`
+	Policy      string    `json:"policy"`
+	Seed        uint64    `json:"seed"`
+	Fingerprint string    `json:"fingerprint"`
+	AggIPC      float64   `json:"agg_ipc"`
+	Run         stats.Run `json:"run"`
+}
+
+// SweepExecutor runs one job spec through the simulator and renders its
+// SweepResult. It is the jobqueue.Executor of the sweep service.
+func SweepExecutor(_ context.Context, spec jobqueue.JobSpec) ([]byte, error) {
+	cfg, mix, err := sweepConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunSeededE(cfg, mix, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	agg := 0.0
+	for i := range res.Cores {
+		agg += res.Cores[i].IPC()
+	}
+	out := SweepResult{
+		Mix: mix.Name, Arch: cfg.Arch.String(), Policy: cfg.Policy.String(),
+		Seed: spec.Seed, Fingerprint: Fingerprint(cfg), AggIPC: agg, Run: res.Run,
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("encode sweep result: %w", err)
+	}
+	return payload, nil
+}
+
+// SweepQueueConfig is the queue configuration the sweep service uses: state
+// under dir, keys from the config fingerprint, validation at submission.
+func SweepQueueConfig(dir string) jobqueue.Config {
+	return jobqueue.Config{
+		Dir:      dir,
+		KeyFunc:  SweepKey,
+		Validate: SweepValidate,
+	}
+}

@@ -1,0 +1,155 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dap/internal/telemetry"
+)
+
+// API serves the sweep service over HTTP, mounted onto the telemetry
+// server's mux:
+//
+//	POST   /jobs               submit a sweep spec, returns {id, jobs}
+//	GET    /jobs               list sweep summaries
+//	GET    /jobs/{id}          one sweep with per-job states and attempts
+//	DELETE /jobs/{id}          cancel a sweep's queued jobs
+//	GET    /jobs/{id}/results  completed jobs' stored result payloads
+//	GET    /deadletters        jobs that exhausted their attempts
+type API struct {
+	svc *Service
+}
+
+// NewAPI wraps a service for HTTP serving.
+func NewAPI(svc *Service) *API { return &API{svc: svc} }
+
+// Attach mounts the API's routes on the telemetry server. Call before the
+// server starts.
+func (a *API) Attach(srv *telemetry.Server) {
+	srv.Handle("POST /jobs", a.handleSubmit)
+	srv.Handle("GET /jobs", a.handleList)
+	srv.Handle("GET /jobs/{id}", a.handleSweep)
+	srv.Handle("DELETE /jobs/{id}", a.handleCancel)
+	srv.Handle("GET /jobs/{id}/results", a.handleResults)
+	srv.Handle("GET /deadletters", a.handleDeadLetters)
+}
+
+func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad sweep spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	sweep, err := a.svc.Queue().Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"id": sweep.ID, "jobs": len(sweep.JobIDs)})
+}
+
+func (a *API) handleList(w http.ResponseWriter, _ *http.Request) {
+	sweeps := a.svc.Queue().Sweeps()
+	if sweeps == nil {
+		sweeps = []SweepSnapshot{}
+	}
+	writeJSON(w, sweeps)
+}
+
+func (a *API) sweepID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad sweep id", http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.sweepID(w, r)
+	if !ok {
+		return
+	}
+	snap, ok := a.svc.Queue().SweepSnapshot(id, true)
+	if !ok {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (a *API) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.sweepID(w, r)
+	if !ok {
+		return
+	}
+	if err := a.svc.Queue().Cancel(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	snap, _ := a.svc.Queue().SweepSnapshot(id, false)
+	writeJSON(w, snap)
+}
+
+// sweepResults is the /jobs/{id}/results response: each completed job's
+// stored payload, verbatim.
+type sweepResults struct {
+	ID      int64        `json:"id"`
+	Done    int          `json:"done"`
+	Total   int          `json:"total"`
+	Results []jobPayload `json:"results"`
+}
+
+type jobPayload struct {
+	Job    int64           `json:"job"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+func (a *API) handleResults(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.sweepID(w, r)
+	if !ok {
+		return
+	}
+	snap, ok := a.svc.Queue().SweepSnapshot(id, false)
+	if !ok {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+		return
+	}
+	out := sweepResults{ID: id, Total: snap.Total, Results: []jobPayload{}}
+	for _, j := range a.svc.Queue().DoneJobs(id) {
+		payload, ok := a.svc.Store().Get(j.Key)
+		if !ok {
+			// Done without a stored result should be impossible (Ack follows
+			// Put); surface it rather than hiding the job.
+			payload = []byte(`{"error":"result missing from store"}`)
+		}
+		if !json.Valid(payload) {
+			quoted, _ := json.Marshal(string(payload))
+			payload = quoted
+		}
+		out.Results = append(out.Results, jobPayload{Job: j.ID, Key: j.Key, Result: payload})
+		out.Done++
+	}
+	writeJSON(w, out)
+}
+
+func (a *API) handleDeadLetters(w http.ResponseWriter, _ *http.Request) {
+	dead := a.svc.Queue().DeadLetters()
+	if dead == nil {
+		dead = []JobSnapshot{}
+	}
+	writeJSON(w, dead)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}

@@ -1,0 +1,232 @@
+package jobqueue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dap/internal/store"
+	"dap/internal/telemetry"
+)
+
+// newAPIServer stands up the full HTTP surface over a real service.
+func newAPIServer(t *testing.T, exec Executor, validate func(JobSpec) error) (*httptest.Server, *Service) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := fastCfg(dir + "/queue")
+	cfg.Validate = validate
+	q, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(q, st, exec, ServiceConfig{Workers: 1, Poll: time.Millisecond, Reap: 5 * time.Millisecond})
+	reg := telemetry.NewRegistry()
+	srv := telemetry.NewServer(reg, telemetry.NewRunRegistry(reg))
+	NewAPI(svc).Attach(srv)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Close(ctx) //nolint:errcheck // test teardown
+	})
+	return ts, svc
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(b)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck // test helper
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d (%s); want %d", method, url, resp.StatusCode, strings.TrimSpace(buf.String()), wantStatus)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s response %q: %v", url, buf.String(), err)
+		}
+	}
+}
+
+func TestSubmitPollResultsLifecycle(t *testing.T) {
+	ts, svc := newAPIServer(t, echoExec, nil)
+	svc.Start()
+
+	var created struct {
+		ID   int64 `json:"id"`
+		Jobs int   `json:"jobs"`
+	}
+	doJSON(t, "POST", ts.URL+"/jobs", SweepSpec{
+		Mixes: []string{"mcf", "lbm"}, Policies: []string{"baseline", "dap"},
+	}, http.StatusCreated, &created)
+	if created.ID != 1 || created.Jobs != 4 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(10 * time.Second)
+	var snap SweepSnapshot
+	for {
+		doJSON(t, "GET", fmt.Sprintf("%s/jobs/%d", ts.URL, created.ID), nil, http.StatusOK, &snap)
+		if snap.Counts["done"] == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never completed: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(snap.Jobs) != 4 {
+		t.Fatalf("detail view has %d jobs", len(snap.Jobs))
+	}
+	for _, j := range snap.Jobs {
+		if j.State != "done" || j.Key == "" {
+			t.Fatalf("job = %+v", j)
+		}
+	}
+
+	// Results endpoint returns each stored payload.
+	var res sweepResults
+	doJSON(t, "GET", fmt.Sprintf("%s/jobs/%d/results", ts.URL, created.ID), nil, http.StatusOK, &res)
+	if res.Done != 4 || res.Total != 4 || len(res.Results) != 4 {
+		t.Fatalf("results = done %d total %d n %d", res.Done, res.Total, len(res.Results))
+	}
+	var first string
+	if err := json.Unmarshal(res.Results[0].Result, &first); err != nil {
+		t.Fatalf("payload not passed through: %v", err)
+	}
+	if !strings.HasPrefix(first, "result-of-mcf|") {
+		t.Fatalf("payload = %q", first)
+	}
+
+	// Sweep list includes the summary.
+	var list []SweepSnapshot
+	doJSON(t, "GET", ts.URL+"/jobs", nil, http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != 1 || list[0].Counts["done"] != 4 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestSubmitValidationAndDecodeErrors(t *testing.T) {
+	ts, _ := newAPIServer(t, echoExec, func(js JobSpec) error {
+		if js.Mix == "bogus" {
+			return fmt.Errorf("unknown mix %q", js.Mix)
+		}
+		return nil
+	})
+
+	// Unknown mix -> 400 with the validator's message.
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(`{"mixes":["bogus"]}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck // test helper
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(buf.String(), "unknown mix") {
+		t.Fatalf("invalid submit = %d %q", resp.StatusCode, buf.String())
+	}
+
+	// Malformed JSON and unknown fields -> 400.
+	for _, body := range []string{`{not json`, `{"mixxes":["mcf"]}`, `{}`} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %q = %d; want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestCancelSweepOverHTTP(t *testing.T) {
+	// No workers started: jobs stay queued so cancellation hits all of them.
+	ts, svc := newAPIServer(t, echoExec, nil)
+	var created struct {
+		ID int64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/jobs", SweepSpec{Mixes: []string{"a", "b"}}, http.StatusCreated, &created)
+
+	var snap SweepSnapshot
+	doJSON(t, "DELETE", fmt.Sprintf("%s/jobs/%d", ts.URL, created.ID), nil, http.StatusOK, &snap)
+	if !snap.Cancelled || snap.Counts["cancelled"] != 2 {
+		t.Fatalf("cancel snapshot = %+v", snap)
+	}
+	if _, ok := svc.Queue().Lease("w"); ok {
+		t.Fatal("cancelled job still dispatchable")
+	}
+	// Unknown sweep -> 404; bad ID -> 400.
+	doJSON(t, "DELETE", ts.URL+"/jobs/99", nil, http.StatusNotFound, nil)
+	doJSON(t, "DELETE", ts.URL+"/jobs/xyz", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/jobs/99", nil, http.StatusNotFound, nil)
+}
+
+func TestDeadLettersEndpoint(t *testing.T) {
+	exec := func(_ context.Context, _ JobSpec) ([]byte, error) {
+		return nil, fmt.Errorf("doomed")
+	}
+	ts, svc := newAPIServer(t, exec, nil)
+	doJSON(t, "POST", ts.URL+"/jobs", SweepSpec{Mixes: []string{"a"}}, http.StatusCreated, nil)
+	svc.Start()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var dead []JobSnapshot
+	for {
+		doJSON(t, "GET", ts.URL+"/deadletters", nil, http.StatusOK, &dead)
+		if len(dead) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never dead-lettered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dead[0].State != "dead" || dead[0].Attempts != 3 || dead[0].Error != "doomed" {
+		t.Fatalf("dead letter = %+v", dead[0])
+	}
+}
+
+func TestTelemetryRoutesStillServe(t *testing.T) {
+	// Mounting the API must not displace the telemetry surface.
+	ts, _ := newAPIServer(t, echoExec, nil)
+	for _, path := range []string{"/healthz", "/metrics", "/runs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}

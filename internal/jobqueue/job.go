@@ -1,0 +1,184 @@
+// Package jobqueue is a durable, crash-safe job queue for sweep execution:
+// sweep specs expand into jobs journaled to an append-only write-ahead log
+// with atomic-rename checkpoints, workers lease jobs with heartbeat-extended
+// deadlines, a reaper re-queues jobs whose lease expired, transient failures
+// retry with capped deterministically-jittered exponential backoff, and
+// jobs that exhaust their attempts land in a dead-letter list instead of
+// wedging the sweep.
+//
+// The queue itself is generic: a JobSpec is just names and knobs, and the
+// executor (internal/harness wires the simulator in) decides what they
+// mean. Everything the queue does is replayable — a killed process reopens
+// the same directory, loads the last checkpoint, replays the WAL tail and
+// resumes the sweep exactly where it died.
+package jobqueue
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobState is a job's lifecycle state.
+type JobState int32
+
+// Job states. A queued job with Attempts > 0 is reported as "retrying".
+const (
+	JobQueued JobState = iota
+	JobLeased
+	JobDone
+	JobDead
+	JobCancelled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobLeased:
+		return "leased"
+	case JobDone:
+		return "done"
+	case JobDead:
+		return "dead"
+	case JobCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// JobSpec describes one simulation: which mix on which architecture under
+// which policy and seed, plus optional run-length knobs. The executor
+// interprets it; the queue only keys and journals it.
+type JobSpec struct {
+	Mix    string `json:"mix"`
+	Arch   string `json:"arch"`
+	Policy string `json:"policy"`
+	Seed   uint64 `json:"seed"`
+
+	Cores int    `json:"cores,omitempty"`
+	Instr uint64 `json:"instr,omitempty"`
+	Warm  int    `json:"warm,omitempty"`
+	Quick bool   `json:"quick,omitempty"`
+}
+
+// String renders the spec as the default store key.
+func (j JobSpec) String() string {
+	return fmt.Sprintf("%s|%s|%s|seed=%d|cores=%d|instr=%d|warm=%d|quick=%v",
+		j.Mix, j.Arch, j.Policy, j.Seed, j.Cores, j.Instr, j.Warm, j.Quick)
+}
+
+// SweepSpec is the client-facing request: the cross product of mixes ×
+// archs × policies × seeds, sharing the run-length knobs.
+type SweepSpec struct {
+	Mixes    []string `json:"mixes"`
+	Archs    []string `json:"archs"`
+	Policies []string `json:"policies"`
+	Seeds    []uint64 `json:"seeds"`
+
+	Cores int    `json:"cores,omitempty"`
+	Instr uint64 `json:"instr,omitempty"`
+	Warm  int    `json:"warm,omitempty"`
+	Quick bool   `json:"quick,omitempty"`
+}
+
+// Expand returns the sweep's jobs in deterministic submission order
+// (mix-major, then arch, policy, seed). Absent dimensions default to the
+// simulator's defaults: arch "sectored", policy "baseline", seed 0.
+func (s SweepSpec) Expand() []JobSpec {
+	archs := s.Archs
+	if len(archs) == 0 {
+		archs = []string{"sectored"}
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []string{"baseline"}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	var out []JobSpec
+	for _, mix := range s.Mixes {
+		for _, arch := range archs {
+			for _, pol := range policies {
+				for _, seed := range seeds {
+					out = append(out, JobSpec{
+						Mix: mix, Arch: arch, Policy: pol, Seed: seed,
+						Cores: s.Cores, Instr: s.Instr, Warm: s.Warm, Quick: s.Quick,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Job is one unit of work tracked by the queue.
+type Job struct {
+	ID      int64
+	SweepID int64
+	Spec    JobSpec
+	// Key addresses the job's result in the store; identical specs share a
+	// key, which is what makes completed work reusable across crashes and
+	// clients.
+	Key string
+
+	State    JobState
+	Attempts int
+	LastErr  string
+	Worker   string
+	// NotBefore gates a retrying job until its backoff elapses.
+	NotBefore time.Time
+	// LeaseExpiry is the deadline a leased job must be heartbeated or
+	// finished by before the reaper re-queues it.
+	LeaseExpiry time.Time
+}
+
+// Sweep groups the jobs of one submitted spec.
+type Sweep struct {
+	ID        int64
+	Spec      SweepSpec
+	JobIDs    []int64
+	Submitted time.Time
+	Cancelled bool
+}
+
+// JobSnapshot is the JSON view of a job.
+type JobSnapshot struct {
+	ID       int64   `json:"id"`
+	Sweep    int64   `json:"sweep"`
+	Spec     JobSpec `json:"spec"`
+	Key      string  `json:"key"`
+	State    string  `json:"state"`
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error,omitempty"`
+	Worker   string  `json:"worker,omitempty"`
+}
+
+// SweepSnapshot is the JSON view of a sweep served by GET /jobs/{id}.
+type SweepSnapshot struct {
+	ID        int64          `json:"id"`
+	Submitted string         `json:"submitted"`
+	Cancelled bool           `json:"cancelled,omitempty"`
+	Total     int            `json:"total"`
+	Counts    map[string]int `json:"counts"`
+	Spec      SweepSpec      `json:"spec"`
+	// Jobs is only populated on the detail view.
+	Jobs []JobSnapshot `json:"jobs,omitempty"`
+}
+
+// stateLabel maps a job onto its reported state name, distinguishing
+// first-time queued jobs from retrying ones.
+func stateLabel(j *Job) string {
+	if j.State == JobQueued && j.Attempts > 0 {
+		return "retrying"
+	}
+	return j.State.String()
+}
+
+func snapshotJob(j *Job) JobSnapshot {
+	return JobSnapshot{
+		ID: j.ID, Sweep: j.SweepID, Spec: j.Spec, Key: j.Key,
+		State: stateLabel(j), Attempts: j.Attempts, Error: j.LastErr, Worker: j.Worker,
+	}
+}

@@ -1,0 +1,604 @@
+package jobqueue
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dap/internal/telemetry"
+)
+
+// Process-wide lifecycle counters (monotonic, so test queues can share the
+// default registry the way the runner pool does).
+var (
+	mSubmitted = telemetry.Default.Counter("jobqueue_jobs_submitted_total", "Jobs expanded from submitted sweeps.")
+	mDone      = telemetry.Default.Counter("jobqueue_jobs_done_total", "Jobs acknowledged complete.")
+	mRetried   = telemetry.Default.Counter("jobqueue_jobs_retried_total", "Job failures re-queued with backoff.")
+	mDead      = telemetry.Default.Counter("jobqueue_jobs_dead_total", "Jobs dead-lettered after exhausting attempts.")
+	mExpired   = telemetry.Default.Counter("jobqueue_leases_expired_total", "Leases reaped after missing their deadline.")
+)
+
+// Config parameterizes a Queue. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Dir is the queue's state directory (WAL + checkpoint). Required.
+	Dir string
+
+	// LeaseTTL is how long a leased job may go without a heartbeat before
+	// the reaper re-queues it (default 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts dead-letters a job after this many failed attempts
+	// (default 4).
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the exponential retry backoff
+	// (defaults 1s and 60s). The jitter is a deterministic function of
+	// (job ID, attempt), so a replayed schedule is reproducible.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CheckpointEvery compacts the WAL into a checkpoint after this many
+	// appended records (default 512).
+	CheckpointEvery int
+
+	// Clock supplies the current time (default time.Now); tests inject a
+	// manual clock to make lease expiry and backoff deterministic.
+	Clock func() time.Time
+
+	// KeyFunc derives the result-store key of a job (default JobSpec.String).
+	// It must be a pure function of the spec.
+	KeyFunc func(JobSpec) string
+	// Validate, when non-nil, rejects malformed specs at submission so they
+	// never enter the queue (unknown mixes, bad arch names, ...).
+	Validate func(JobSpec) error
+}
+
+func (c *Config) fill() {
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = time.Second
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Minute
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 512
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.KeyFunc == nil {
+		c.KeyFunc = JobSpec.String
+	}
+}
+
+// Queue is the durable job queue. Every mutating method journals its
+// record (fsynced) before touching memory, so the on-disk log is always a
+// superset of the in-memory state and a crash at any point replays to a
+// consistent queue.
+type Queue struct {
+	cfg Config
+
+	mu        sync.Mutex
+	jobs      map[int64]*Job
+	sweeps    map[int64]*Sweep
+	order     []int64 // job IDs in submission order (dispatch priority)
+	nextJob   int64
+	nextSweep int64
+	seq       uint64
+	wal       *wal
+	sinceCkpt int
+	closed    bool
+}
+
+// Open creates or recovers a queue rooted at cfg.Dir: load the last
+// checkpoint, replay the WAL tail past it, and reopen the journal for
+// appending.
+func Open(cfg Config) (*Queue, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("jobqueue: Config.Dir is required")
+	}
+	cfg.fill()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobqueue: %w", err)
+	}
+	q := &Queue{
+		cfg:    cfg,
+		jobs:   make(map[int64]*Job),
+		sweeps: make(map[int64]*Sweep),
+	}
+	ck := readCheckpoint(checkpointPath(cfg.Dir))
+	q.loadCheckpoint(ck)
+	seq, err := replayWAL(walPath(cfg.Dir), ck.Seq, q.apply)
+	if err != nil {
+		return nil, err
+	}
+	q.seq = seq
+	if q.wal, err = openWAL(walPath(cfg.Dir)); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (q *Queue) loadCheckpoint(ck checkpointState) {
+	q.nextJob, q.nextSweep, q.seq = ck.NextJob, ck.NextSweep, ck.Seq
+	for _, s := range ck.Sweeps {
+		q.sweeps[s.ID] = &Sweep{
+			ID: s.ID, Spec: s.Spec, JobIDs: append([]int64(nil), s.JobIDs...),
+			Submitted: fromUnixNano(s.Submitted), Cancelled: s.Cancelled,
+		}
+	}
+	for _, j := range ck.Jobs {
+		q.jobs[j.ID] = &Job{
+			ID: j.ID, SweepID: j.SweepID, Spec: j.Spec, Key: j.Key,
+			State: JobState(j.State), Attempts: j.Attempts, LastErr: j.LastErr,
+			Worker: j.Worker, NotBefore: fromUnixNano(j.NotBefore), LeaseExpiry: fromUnixNano(j.Expiry),
+		}
+		q.order = append(q.order, j.ID)
+	}
+	sort.Slice(q.order, func(i, k int) bool { return q.order[i] < q.order[k] })
+}
+
+// apply replays one journal record onto the in-memory state. Records
+// referencing unknown jobs are skipped (they can only arise from a journal
+// older than the checkpoint, which the sequence filter already excludes,
+// or manual tampering).
+func (q *Queue) apply(rec walRecord) {
+	switch rec.Op {
+	case "sweep":
+		if rec.Sweep == nil {
+			return
+		}
+		s := &Sweep{ID: rec.Sweep.ID, Spec: rec.Sweep.Spec, Submitted: fromUnixNano(rec.Sweep.Submitted)}
+		for _, jr := range rec.Sweep.Jobs {
+			s.JobIDs = append(s.JobIDs, jr.ID)
+			q.jobs[jr.ID] = &Job{ID: jr.ID, SweepID: s.ID, Spec: jr.Spec, Key: jr.Key}
+			q.order = append(q.order, jr.ID)
+			if jr.ID > q.nextJob {
+				q.nextJob = jr.ID
+			}
+		}
+		q.sweeps[s.ID] = s
+		if s.ID > q.nextSweep {
+			q.nextSweep = s.ID
+		}
+	case "lease":
+		if j := q.jobs[rec.Job]; j != nil {
+			j.State, j.Worker, j.LeaseExpiry = JobLeased, rec.Worker, fromUnixNano(rec.Expiry)
+		}
+	case "done":
+		if j := q.jobs[rec.Job]; j != nil {
+			j.State, j.Worker, j.LastErr = JobDone, "", ""
+		}
+	case "fail":
+		if j := q.jobs[rec.Job]; j != nil {
+			j.State, j.Worker = JobQueued, ""
+			j.Attempts++
+			j.LastErr = rec.Err
+			j.NotBefore = fromUnixNano(rec.NotBefore)
+		}
+	case "dead":
+		if j := q.jobs[rec.Job]; j != nil {
+			j.State, j.Worker = JobDead, ""
+			j.Attempts++
+			j.LastErr = rec.Err
+		}
+	case "requeue":
+		if j := q.jobs[rec.Job]; j != nil {
+			j.State, j.Worker, j.NotBefore = JobQueued, "", time.Time{}
+		}
+	case "cancel":
+		if s := q.sweeps[rec.Job]; s != nil {
+			s.Cancelled = true
+			for _, id := range s.JobIDs {
+				if j := q.jobs[id]; j != nil && j.State == JobQueued {
+					j.State = JobCancelled
+				}
+			}
+		}
+	}
+}
+
+// journal appends (and fsyncs) a record, then applies it to memory, then
+// triggers a checkpoint if the WAL has grown enough. Callers hold q.mu.
+func (q *Queue) journal(rec walRecord) error {
+	if q.closed {
+		return fmt.Errorf("jobqueue: queue closed")
+	}
+	q.seq++
+	rec.Seq = q.seq
+	if err := q.wal.append(rec); err != nil {
+		q.seq--
+		return err
+	}
+	q.apply(rec)
+	q.sinceCkpt++
+	if q.sinceCkpt >= q.cfg.CheckpointEvery {
+		return q.checkpointLocked()
+	}
+	return nil
+}
+
+// Submit expands a sweep spec into jobs, validates each (when the queue has
+// a validator), journals the whole batch as one record and returns the
+// sweep. An empty expansion is an error.
+func (q *Queue) Submit(spec SweepSpec) (*Sweep, error) {
+	specs := spec.Expand()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("jobqueue: sweep expands to no jobs (mixes is empty)")
+	}
+	if q.cfg.Validate != nil {
+		for _, js := range specs {
+			if err := q.cfg.Validate(js); err != nil {
+				return nil, fmt.Errorf("jobqueue: invalid job %s: %w", js.String(), err)
+			}
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := walRecord{Op: "sweep", Sweep: &sweepRecord{
+		ID: q.nextSweep + 1, Spec: spec, Submitted: unixNano(q.cfg.Clock()),
+	}}
+	id := q.nextJob
+	for _, js := range specs {
+		id++
+		rec.Sweep.Jobs = append(rec.Sweep.Jobs, jobRecord{ID: id, Spec: js, Key: q.cfg.KeyFunc(js)})
+	}
+	if err := q.journal(rec); err != nil {
+		return nil, err
+	}
+	mSubmitted.Add(float64(len(specs)))
+	s := q.sweeps[rec.Sweep.ID]
+	cp := *s
+	return &cp, nil
+}
+
+// Lease hands the lowest-ID dispatchable job (queued, past its backoff
+// gate) to worker under a LeaseTTL deadline. It returns false when nothing
+// is currently dispatchable.
+func (q *Queue) Lease(worker string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Clock()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State != JobQueued || j.NotBefore.After(now) {
+			continue
+		}
+		rec := walRecord{Op: "lease", Job: j.ID, Worker: worker, Expiry: unixNano(now.Add(q.cfg.LeaseTTL))}
+		if err := q.journal(rec); err != nil {
+			return Job{}, false
+		}
+		return *j, true
+	}
+	return Job{}, false
+}
+
+// Heartbeat extends a leased job's deadline. Extensions are deliberately
+// not journaled: after a process crash every lease is stale by definition
+// and recovery re-queues it, so only the live process needs the extension.
+func (q *Queue) Heartbeat(jobID int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[jobID]
+	if j == nil || j.State != JobLeased {
+		return fmt.Errorf("jobqueue: heartbeat on job %d in state %v", jobID, stateOf(j))
+	}
+	j.LeaseExpiry = q.cfg.Clock().Add(q.cfg.LeaseTTL)
+	return nil
+}
+
+// Ack marks a leased job done (its result is durable in the store).
+func (q *Queue) Ack(jobID int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[jobID]
+	if j == nil || j.State != JobLeased {
+		return fmt.Errorf("jobqueue: ack on job %d in state %v", jobID, stateOf(j))
+	}
+	if err := q.journal(walRecord{Op: "done", Job: jobID}); err != nil {
+		return err
+	}
+	mDone.Inc()
+	return nil
+}
+
+// Nack records a failed attempt: the job re-queues behind its backoff gate,
+// or dead-letters once its attempts are exhausted.
+func (q *Queue) Nack(jobID int64, cause string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[jobID]
+	if j == nil || j.State != JobLeased {
+		return fmt.Errorf("jobqueue: nack on job %d in state %v", jobID, stateOf(j))
+	}
+	return q.failLocked(j, cause)
+}
+
+func (q *Queue) failLocked(j *Job, cause string) error {
+	attempt := j.Attempts + 1
+	if attempt >= q.cfg.MaxAttempts {
+		if err := q.journal(walRecord{Op: "dead", Job: j.ID, Err: cause}); err != nil {
+			return err
+		}
+		mDead.Inc()
+		return nil
+	}
+	nb := q.cfg.Clock().Add(backoffDelay(q.cfg.BackoffBase, q.cfg.BackoffMax, attempt, j.ID))
+	if err := q.journal(walRecord{Op: "fail", Job: j.ID, Err: cause, NotBefore: unixNano(nb)}); err != nil {
+		return err
+	}
+	mRetried.Inc()
+	return nil
+}
+
+// Requeue puts a leased job back at the front of the queue without counting
+// an attempt — recovery uses it for jobs whose lease belonged to a dead
+// process.
+func (q *Queue) Requeue(jobID int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[jobID]
+	if j == nil || j.State != JobLeased {
+		return fmt.Errorf("jobqueue: requeue on job %d in state %v", jobID, stateOf(j))
+	}
+	return q.journal(walRecord{Op: "requeue", Job: jobID})
+}
+
+// Reap re-queues every leased job whose deadline has passed (worker death
+// or hang), counting the missed lease as a failed attempt so a job that
+// repeatedly wedges its worker eventually dead-letters instead of cycling
+// forever. It returns how many leases were reaped.
+func (q *Queue) Reap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Clock()
+	n := 0
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State != JobLeased || j.LeaseExpiry.After(now) {
+			continue
+		}
+		cause := fmt.Sprintf("lease expired (worker %q missed its deadline)", j.Worker)
+		if err := q.failLocked(j, cause); err != nil {
+			break
+		}
+		mExpired.Inc()
+		n++
+	}
+	return n
+}
+
+// Cancel marks a sweep cancelled: its queued jobs move to cancelled and
+// will never dispatch; jobs already leased run to completion.
+func (q *Queue) Cancel(sweepID int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.sweeps[sweepID] == nil {
+		return fmt.Errorf("jobqueue: no such sweep %d", sweepID)
+	}
+	return q.journal(walRecord{Op: "cancel", Job: sweepID})
+}
+
+// Leased returns copies of every currently leased job (recovery reconciles
+// these against the result store).
+func (q *Queue) Leased() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Job
+	for _, id := range q.order {
+		if j := q.jobs[id]; j.State == JobLeased {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of jobs per reported state label plus the
+// total.
+func (q *Queue) Counts() (map[string]int, int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	counts := make(map[string]int)
+	for _, j := range q.jobs {
+		counts[stateLabel(j)]++
+	}
+	return counts, len(q.jobs)
+}
+
+// Idle reports whether every job is in a terminal state (done, dead or
+// cancelled).
+func (q *Queue) Idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.jobs {
+		switch j.State {
+		case JobQueued, JobLeased:
+			return false
+		}
+	}
+	return true
+}
+
+// Job returns a copy of a job by ID.
+func (q *Queue) Job(id int64) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[id]
+	if j == nil {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Sweeps lists every sweep's summary snapshot, oldest first.
+func (q *Queue) Sweeps() []SweepSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids := make([]int64, 0, len(q.sweeps))
+	for id := range q.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	out := make([]SweepSnapshot, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, q.snapshotSweepLocked(q.sweeps[id], false))
+	}
+	return out
+}
+
+// SweepSnapshot returns one sweep's snapshot (with per-job detail when
+// detail is set) and whether it exists.
+func (q *Queue) SweepSnapshot(id int64, detail bool) (SweepSnapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.sweeps[id]
+	if s == nil {
+		return SweepSnapshot{}, false
+	}
+	return q.snapshotSweepLocked(s, detail), true
+}
+
+func (q *Queue) snapshotSweepLocked(s *Sweep, detail bool) SweepSnapshot {
+	snap := SweepSnapshot{
+		ID: s.ID, Spec: s.Spec, Submitted: s.Submitted.UTC().Format(time.RFC3339Nano),
+		Cancelled: s.Cancelled, Total: len(s.JobIDs), Counts: make(map[string]int),
+	}
+	for _, id := range s.JobIDs {
+		j := q.jobs[id]
+		snap.Counts[stateLabel(j)]++
+		if detail {
+			snap.Jobs = append(snap.Jobs, snapshotJob(j))
+		}
+	}
+	return snap
+}
+
+// DeadLetters lists every dead-lettered job with its attempt count and last
+// error.
+func (q *Queue) DeadLetters() []JobSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []JobSnapshot
+	for _, id := range q.order {
+		if j := q.jobs[id]; j.State == JobDead {
+			out = append(out, snapshotJob(j))
+		}
+	}
+	return out
+}
+
+// DoneJobs lists every completed job of a sweep in submission order.
+func (q *Queue) DoneJobs(sweepID int64) []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.sweeps[sweepID]
+	if s == nil {
+		return nil
+	}
+	var out []Job
+	for _, id := range s.JobIDs {
+		if j := q.jobs[id]; j != nil && j.State == JobDone {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Checkpoint compacts the journal: the full state snapshot lands with an
+// atomic rename, then the WAL is truncated. A crash between the two leaves
+// stale records in the log that replay skips via the sequence filter.
+func (q *Queue) Checkpoint() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.checkpointLocked()
+}
+
+func (q *Queue) checkpointLocked() error {
+	st := checkpointState{Seq: q.seq, NextJob: q.nextJob, NextSweep: q.nextSweep}
+	ids := make([]int64, 0, len(q.sweeps))
+	for id := range q.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		s := q.sweeps[id]
+		st.Sweeps = append(st.Sweeps, checkpointSweep{
+			ID: s.ID, Spec: s.Spec, JobIDs: s.JobIDs,
+			Submitted: unixNano(s.Submitted), Cancelled: s.Cancelled,
+		})
+	}
+	for _, id := range q.order {
+		j := q.jobs[id]
+		st.Jobs = append(st.Jobs, checkpointJob{
+			ID: j.ID, SweepID: j.SweepID, Spec: j.Spec, Key: j.Key,
+			State: int32(j.State), Attempts: j.Attempts, LastErr: j.LastErr,
+			Worker: j.Worker, NotBefore: unixNano(j.NotBefore), Expiry: unixNano(j.LeaseExpiry),
+		})
+	}
+	if err := writeCheckpoint(checkpointPath(q.cfg.Dir), st); err != nil {
+		return err
+	}
+	q.sinceCkpt = 0
+	return q.wal.reset()
+}
+
+// Close checkpoints and closes the journal. The directory remains openable
+// by a future process.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	err := q.checkpointLocked()
+	q.closed = true
+	if cerr := q.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// backoffDelay is the capped exponential retry delay for a job's Nth
+// attempt (attempt >= 1) plus a deterministic jitter derived from
+// (jobID, attempt): delay = min(base << (attempt-1), max) stretched by up
+// to +25%. Being a pure function, a replayed retry schedule is
+// reproducible.
+func backoffDelay(base, max time.Duration, attempt int, jobID int64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// FNV-64a over (jobID, attempt) drives the jitter.
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range []uint64{uint64(jobID), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			h ^= (b >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	jitter := time.Duration(uint64(d) / 4 * (h % 1024) / 1024)
+	if d+jitter > max {
+		return max
+	}
+	return d + jitter
+}
+
+func stateOf(j *Job) string {
+	if j == nil {
+		return "absent"
+	}
+	return j.State.String()
+}

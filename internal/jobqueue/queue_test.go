@@ -1,0 +1,476 @@
+package jobqueue
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"dap/internal/faultinject"
+)
+
+// manualClock is a hand-advanced clock for deterministic lease/backoff
+// tests.
+type manualClock struct{ now time.Time }
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *manualClock) Now() time.Time          { return c.now }
+func (c *manualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func openQ(t *testing.T, dir string, clock *manualClock, mutate ...func(*Config)) *Queue {
+	t.Helper()
+	cfg := Config{Dir: dir, Clock: clock.Now, LeaseTTL: 30 * time.Second, MaxAttempts: 3}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	q, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return q
+}
+
+func submitT(t *testing.T, q *Queue, spec SweepSpec) *Sweep {
+	t.Helper()
+	s, err := q.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return s
+}
+
+func TestSubmitExpandAndLeaseOrder(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock())
+	defer q.Close()
+	s := submitT(t, q, SweepSpec{
+		Mixes: []string{"mcf", "lbm"}, Policies: []string{"baseline", "dap"}, Seeds: []uint64{0, 1},
+	})
+	if len(s.JobIDs) != 8 {
+		t.Fatalf("expanded %d jobs; want 8 (2 mixes x 2 policies x 2 seeds)", len(s.JobIDs))
+	}
+	// Dispatch order is submission order: mix-major.
+	j1, ok1 := q.Lease("w")
+	j2, ok2 := q.Lease("w")
+	if !ok1 || !ok2 {
+		t.Fatal("lease failed with queued jobs available")
+	}
+	if j1.ID != 1 || j2.ID != 2 {
+		t.Fatalf("leases out of order: got %d then %d", j1.ID, j2.ID)
+	}
+	if j1.Spec.Mix != "mcf" || j1.Spec.Policy != "baseline" || j1.Spec.Seed != 0 {
+		t.Fatalf("job 1 spec = %+v", j1.Spec)
+	}
+}
+
+func TestValidateRejectsAtSubmission(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock(), func(c *Config) {
+		c.Validate = func(js JobSpec) error {
+			if js.Mix == "bogus" {
+				return &validationError{js.Mix}
+			}
+			return nil
+		}
+	})
+	defer q.Close()
+	if _, err := q.Submit(SweepSpec{Mixes: []string{"mcf", "bogus"}}); err == nil {
+		t.Fatal("Submit accepted an invalid spec")
+	}
+	if counts, total := q.Counts(); total != 0 {
+		t.Fatalf("rejected sweep left jobs behind: %v", counts)
+	}
+}
+
+type validationError struct{ mix string }
+
+func (e *validationError) Error() string { return "unknown mix " + e.mix }
+
+func TestAckCompletesJob(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock())
+	defer q.Close()
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf"}})
+	j, _ := q.Lease("w")
+	if err := q.Ack(j.ID); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	got, _ := q.Job(j.ID)
+	if got.State != JobDone {
+		t.Fatalf("state = %v; want done", got.State)
+	}
+	if err := q.Ack(j.ID); err == nil {
+		t.Fatal("double Ack succeeded")
+	}
+	if !q.Idle() {
+		t.Fatal("queue not idle with all jobs done")
+	}
+}
+
+func TestRetryWithDeterministicBackoffThenDeadLetter(t *testing.T) {
+	clock := newManualClock()
+	q := openQ(t, t.TempDir(), clock, func(c *Config) {
+		c.BackoffBase = time.Second
+		c.BackoffMax = time.Minute
+	})
+	defer q.Close()
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf"}})
+
+	// Attempt 1 fails: the job re-queues behind its backoff gate.
+	j, _ := q.Lease("w")
+	if err := q.Nack(j.ID, "transient"); err != nil {
+		t.Fatalf("Nack: %v", err)
+	}
+	got, _ := q.Job(j.ID)
+	if got.State != JobQueued || got.Attempts != 1 {
+		t.Fatalf("after nack: state=%v attempts=%d", got.State, got.Attempts)
+	}
+	wantDelay := backoffDelay(time.Second, time.Minute, 1, j.ID)
+	if gotDelay := got.NotBefore.Sub(clock.Now()); gotDelay != wantDelay {
+		t.Fatalf("backoff = %v; want %v (deterministic)", gotDelay, wantDelay)
+	}
+	if _, ok := q.Lease("w"); ok {
+		t.Fatal("leased a job still inside its backoff window")
+	}
+	counts, _ := q.Counts()
+	if counts["retrying"] != 1 {
+		t.Fatalf("counts = %v; want 1 retrying", counts)
+	}
+
+	// Past the gate it dispatches again; attempt 2 fails with a longer gate.
+	clock.Advance(wantDelay)
+	j2, ok := q.Lease("w")
+	if !ok || j2.ID != j.ID {
+		t.Fatalf("re-lease after backoff: %+v, %v", j2, ok)
+	}
+	if err := q.Nack(j.ID, "transient again"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = q.Job(j.ID)
+	d2 := backoffDelay(time.Second, time.Minute, 2, j.ID)
+	if d1 := backoffDelay(time.Second, time.Minute, 1, j.ID); d2 <= d1 {
+		t.Fatalf("backoff not growing: %v then %v", d1, d2)
+	}
+	if gotDelay := got.NotBefore.Sub(clock.Now()); gotDelay != d2 {
+		t.Fatalf("attempt-2 backoff = %v; want %v", gotDelay, d2)
+	}
+
+	// Attempt 3 = MaxAttempts: dead-letter, never dispatched again.
+	clock.Advance(d2)
+	if _, ok := q.Lease("w"); !ok {
+		t.Fatal("re-lease failed")
+	}
+	if err := q.Nack(j.ID, "fatal-ish"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = q.Job(j.ID)
+	if got.State != JobDead || got.Attempts != 3 {
+		t.Fatalf("after final nack: state=%v attempts=%d; want dead/3", got.State, got.Attempts)
+	}
+	dead := q.DeadLetters()
+	if len(dead) != 1 || dead[0].ID != j.ID || dead[0].Error != "fatal-ish" || dead[0].Attempts != 3 {
+		t.Fatalf("DeadLetters = %+v", dead)
+	}
+	clock.Advance(time.Hour)
+	if _, ok := q.Lease("w"); ok {
+		t.Fatal("dead-lettered job dispatched")
+	}
+	if !q.Idle() {
+		t.Fatal("dead job should count as terminal")
+	}
+}
+
+func TestBackoffCapAndDeterminism(t *testing.T) {
+	base, max := time.Second, time.Minute
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := backoffDelay(base, max, attempt, 42)
+		if d > max {
+			t.Fatalf("attempt %d: %v exceeds cap %v", attempt, d, max)
+		}
+		if d != backoffDelay(base, max, attempt, 42) {
+			t.Fatalf("attempt %d: backoff not deterministic", attempt)
+		}
+	}
+	// Different jobs jitter differently (with overwhelming probability).
+	same := 0
+	for id := int64(1); id <= 8; id++ {
+		if backoffDelay(base, max, 2, id) == backoffDelay(base, max, 2, id+100) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("jitter appears constant across job IDs")
+	}
+}
+
+func TestLeaseExpiryReapAndHeartbeat(t *testing.T) {
+	clock := newManualClock()
+	q := openQ(t, t.TempDir(), clock, func(c *Config) { c.LeaseTTL = 10 * time.Second })
+	defer q.Close()
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm"}})
+
+	j1, _ := q.Lease("w1")
+	j2, _ := q.Lease("w2")
+
+	// Heartbeat keeps w1's lease alive across the original deadline.
+	clock.Advance(8 * time.Second)
+	if err := q.Heartbeat(j1.ID); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	clock.Advance(5 * time.Second) // j2 now 13s old (expired), j1 5s past heartbeat
+	if n := q.Reap(); n != 1 {
+		t.Fatalf("Reap = %d; want exactly the un-heartbeated lease", n)
+	}
+	g1, _ := q.Job(j1.ID)
+	g2, _ := q.Job(j2.ID)
+	if g1.State != JobLeased {
+		t.Fatalf("heartbeated job reaped: %v", g1.State)
+	}
+	if g2.State != JobQueued || g2.Attempts != 1 {
+		t.Fatalf("expired lease not requeued: state=%v attempts=%d", g2.State, g2.Attempts)
+	}
+	if !strings.Contains(g2.LastErr, "lease expired") {
+		t.Fatalf("LastErr = %q", g2.LastErr)
+	}
+}
+
+func TestRequeueDoesNotCountAttempt(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock())
+	defer q.Close()
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf"}})
+	j, _ := q.Lease("w")
+	if err := q.Requeue(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Job(j.ID)
+	if got.State != JobQueued || got.Attempts != 0 {
+		t.Fatalf("after requeue: state=%v attempts=%d; want queued/0", got.State, got.Attempts)
+	}
+	if _, ok := q.Lease("w"); !ok {
+		t.Fatal("requeued job not dispatchable")
+	}
+}
+
+func TestCancelSweep(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock())
+	defer q.Close()
+	s := submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm", "milc"}})
+	j, _ := q.Lease("w") // in-flight job survives cancellation
+	if err := q.Cancel(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Lease("w"); ok {
+		t.Fatal("leased a job from a cancelled sweep")
+	}
+	if err := q.Ack(j.ID); err != nil {
+		t.Fatalf("in-flight job of cancelled sweep could not complete: %v", err)
+	}
+	snap, _ := q.SweepSnapshot(s.ID, false)
+	if !snap.Cancelled || snap.Counts["cancelled"] != 2 || snap.Counts["done"] != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if err := q.Cancel(99); err == nil {
+		t.Fatal("Cancel of unknown sweep succeeded")
+	}
+}
+
+// reopen closes and reopens the queue, as a process restart would.
+func reopen(t *testing.T, q *Queue, dir string, clock *manualClock, graceful bool, mutate ...func(*Config)) *Queue {
+	t.Helper()
+	if graceful {
+		if err := q.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	} else {
+		// Simulate a crash: drop the queue without checkpointing. The WAL
+		// already holds every record durably.
+		q.mu.Lock()
+		q.closed = true
+		q.wal.close()
+		q.mu.Unlock()
+	}
+	return openQ(t, dir, clock, mutate...)
+}
+
+func TestRecoveryAfterCrashReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	clock := newManualClock()
+	q := openQ(t, dir, clock)
+	s := submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm", "milc"}, Seeds: []uint64{0, 1}})
+	j1, _ := q.Lease("w")
+	q.Ack(j1.ID)
+	j2, _ := q.Lease("w")
+	q.Nack(j2.ID, "boom")
+	j3, _ := q.Lease("w") // left leased across the crash
+
+	q2 := reopen(t, q, dir, clock, false)
+	defer q2.Close()
+
+	counts, total := q2.Counts()
+	if total != 6 || counts["done"] != 1 || counts["retrying"] != 1 || counts["leased"] != 1 || counts["queued"] != 3 {
+		t.Fatalf("recovered counts = %v (total %d)", counts, total)
+	}
+	g2, _ := q2.Job(j2.ID)
+	if g2.Attempts != 1 || g2.LastErr != "boom" {
+		t.Fatalf("retry state lost: %+v", g2)
+	}
+	g3, _ := q2.Job(j3.ID)
+	if g3.State != JobLeased || g3.Worker != "w" {
+		t.Fatalf("lease lost: %+v", g3)
+	}
+	snap, ok := q2.SweepSnapshot(s.ID, true)
+	if !ok || snap.Total != 6 || len(snap.Jobs) != 6 {
+		t.Fatalf("sweep lost: %+v, %v", snap, ok)
+	}
+	// New submissions continue the ID sequence without collisions.
+	s2 := submitT(t, q2, SweepSpec{Mixes: []string{"mcf"}})
+	if s2.ID != s.ID+1 || s2.JobIDs[0] != 7 {
+		t.Fatalf("ID sequence reset: sweep %d job %d", s2.ID, s2.JobIDs[0])
+	}
+}
+
+func TestRecoveryAfterGracefulCloseUsesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	clock := newManualClock()
+	q := openQ(t, dir, clock)
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm"}})
+	j, _ := q.Lease("w")
+	q.Ack(j.ID)
+
+	q2 := reopen(t, q, dir, clock, true)
+	defer q2.Close()
+	counts, total := q2.Counts()
+	if total != 2 || counts["done"] != 1 || counts["queued"] != 1 {
+		t.Fatalf("counts after graceful restart = %v", counts)
+	}
+}
+
+func TestTornWALTailIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	clock := newManualClock()
+	q := openQ(t, dir, clock)
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm"}})
+	j, _ := q.Lease("w")
+	q.Ack(j.ID)
+	q.mu.Lock()
+	q.closed = true
+	q.wal.close()
+	q.mu.Unlock()
+
+	// Tear the last record (the ack) in half, as a crash mid-append would.
+	if err := faultinject.TruncateTail(walPath(dir), 10); err != nil {
+		t.Fatal(err)
+	}
+	q2 := openQ(t, dir, clock)
+	defer q2.Close()
+	got, _ := q2.Job(j.ID)
+	// The ack record was torn: the job must surface as still leased (to be
+	// reconciled), never as a corrupted in-between.
+	if got.State != JobLeased {
+		t.Fatalf("state after torn ack = %v; want leased", got.State)
+	}
+}
+
+func TestCorruptWALRecordEndsReplay(t *testing.T) {
+	dir := t.TempDir()
+	clock := newManualClock()
+	q := openQ(t, dir, clock)
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf"}})
+	j, _ := q.Lease("w")
+	q.Ack(j.ID)
+	q.mu.Lock()
+	q.closed = true
+	q.wal.close()
+	q.mu.Unlock()
+
+	// Flip a byte inside the lease record (second line): replay must stop
+	// there, keeping the submit but dropping lease+ack.
+	raw, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.IndexByte(string(raw), '\n')
+	if err := faultinject.FlipByte(walPath(dir), int64(first)+20); err != nil {
+		t.Fatal(err)
+	}
+	q2 := openQ(t, dir, clock)
+	defer q2.Close()
+	got, _ := q2.Job(j.ID)
+	if got.State != JobQueued {
+		t.Fatalf("state = %v; want queued (lease+ack after corrupt record dropped)", got.State)
+	}
+}
+
+func TestCheckpointTruncatesWALAndSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := newManualClock()
+	// Checkpoint every 4 records: a 3-mix sweep + 3 lease/ack pairs crosses
+	// it several times.
+	q := openQ(t, dir, clock, func(c *Config) { c.CheckpointEvery = 4 })
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf", "lbm", "milc"}})
+	for i := 0; i < 3; i++ {
+		j, ok := q.Lease("w")
+		if !ok {
+			t.Fatalf("lease %d failed", i)
+		}
+		if err := q.Ack(j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := os.Stat(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 1024 {
+		t.Fatalf("WAL not compacted by checkpoints: %d bytes", info.Size())
+	}
+	q2 := reopen(t, q, dir, clock, false)
+	defer q2.Close()
+	counts, total := q2.Counts()
+	if total != 3 || counts["done"] != 3 {
+		t.Fatalf("counts after checkpointed crash = %v", counts)
+	}
+}
+
+func TestStaleWALRecordsAfterCheckpointAreSkipped(t *testing.T) {
+	// A crash between checkpoint-rename and WAL-truncate leaves records at
+	// or below the checkpoint's sequence in the log; replay must skip them
+	// rather than double-apply.
+	dir := t.TempDir()
+	clock := newManualClock()
+	q := openQ(t, dir, clock)
+	submitT(t, q, SweepSpec{Mixes: []string{"mcf"}})
+	j, _ := q.Lease("w")
+	q.Nack(j.ID, "x") // attempts = 1
+
+	// Snapshot the WAL, checkpoint (which truncates), then restore the old
+	// WAL contents — exactly the torn-between state.
+	oldWAL, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	q.closed = true
+	q.wal.close()
+	q.mu.Unlock()
+	if err := os.WriteFile(walPath(dir), oldWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2 := openQ(t, dir, clock)
+	defer q2.Close()
+	got, _ := q2.Job(j.ID)
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d; want 1 (stale nack must not re-apply)", got.Attempts)
+	}
+}
+
+func TestSubmitEmptySweepFails(t *testing.T) {
+	q := openQ(t, t.TempDir(), newManualClock())
+	defer q.Close()
+	if _, err := q.Submit(SweepSpec{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}

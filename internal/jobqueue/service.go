@@ -1,0 +1,256 @@
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dap/internal/faultinject"
+	"dap/internal/runner"
+	"dap/internal/store"
+)
+
+// Executor runs one job and returns its result payload (the bytes the store
+// persists under the job's key). It must be deterministic in the spec: the
+// same spec always yields byte-identical payloads, which is what lets the
+// service reuse stored results instead of re-simulating.
+type Executor func(ctx context.Context, spec JobSpec) ([]byte, error)
+
+// ServiceConfig parameterizes a Service; zero fields pick defaults.
+type ServiceConfig struct {
+	// Workers is the number of concurrent job executors (default
+	// runner.Parallelism()).
+	Workers int
+	// Poll is how long an idle worker sleeps before re-asking for a lease
+	// (default 50ms).
+	Poll time.Duration
+	// Heartbeat is the lease-extension period for running jobs (default
+	// LeaseTTL/3, floored at 10ms).
+	Heartbeat time.Duration
+	// Reap is the reaper's scan period for expired leases (default 1s).
+	Reap time.Duration
+	// Chaos, when non-nil, injects process-level faults (executor failures
+	// and crash points) for the chaos harness.
+	Chaos *faultinject.ServiceChaos
+}
+
+// Service binds a Queue, a result Store and an Executor into the running
+// sweep service: a worker pool leasing jobs, heartbeating them while they
+// simulate, persisting results before acknowledging, plus a background
+// reaper for expired leases.
+//
+// The completion protocol is the crash-safety contract:
+//
+//	execute -> store.Put(key) -> queue.Ack
+//
+// A crash after Put but before Ack leaves a leased job whose result is
+// already durable; Reconcile detects that (store hit for a leased job) and
+// acknowledges without re-executing. A crash before Put leaves nothing, and
+// the job is re-queued with no attempt penalty. Either way the resumed
+// sweep's merged results are byte-identical to an uninterrupted run.
+type Service struct {
+	q    *Queue
+	st   *store.Store
+	exec Executor
+	cfg  ServiceConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// CacheHits counts jobs acknowledged straight from the store without
+	// executing (visible to tests and the crash harness).
+	CacheHits int
+	hitMu     sync.Mutex
+}
+
+// NewService assembles a service. The queue and store must share a fate: a
+// restart must reopen both from the same directories for recovery to
+// reconcile them.
+func NewService(q *Queue, st *store.Store, exec Executor, cfg ServiceConfig) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runner.Parallelism(0)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = q.cfg.LeaseTTL / 3
+		if cfg.Heartbeat < 10*time.Millisecond {
+			cfg.Heartbeat = 10 * time.Millisecond
+		}
+	}
+	if cfg.Reap <= 0 {
+		cfg.Reap = time.Second
+	}
+	return &Service{q: q, st: st, exec: exec, cfg: cfg}
+}
+
+// Queue exposes the underlying queue (the HTTP API reads through it).
+func (s *Service) Queue() *Queue { return s.q }
+
+// Store exposes the underlying result store.
+func (s *Service) Store() *store.Store { return s.st }
+
+// Reconcile resolves the leases a dead process left behind; call it once
+// after Open, before Start. A leased job whose result already sits in the
+// store is acknowledged as done (the crash happened between Put and Ack);
+// every other leased job is re-queued with no attempt penalty (its lease
+// died with the process). It returns (acked, requeued).
+func (s *Service) Reconcile() (acked, requeued int, err error) {
+	for _, j := range s.q.Leased() {
+		if s.st.Has(j.Key) {
+			if err := s.q.Ack(j.ID); err != nil {
+				return acked, requeued, fmt.Errorf("jobqueue: reconcile ack job %d: %w", j.ID, err)
+			}
+			acked++
+			continue
+		}
+		if err := s.q.Requeue(j.ID); err != nil {
+			return acked, requeued, fmt.Errorf("jobqueue: reconcile requeue job %d: %w", j.ID, err)
+		}
+		requeued++
+	}
+	return acked, requeued, nil
+}
+
+// Start launches the worker pool and the lease reaper.
+func (s *Service) Start() {
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func(id int) {
+			defer s.wg.Done()
+			s.workerLoop(fmt.Sprintf("worker-%d", id))
+		}(i)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.reaperLoop()
+	}()
+}
+
+func (s *Service) workerLoop(name string) {
+	for {
+		job, ok := s.q.Lease(name)
+		if !ok {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-time.After(s.cfg.Poll):
+			}
+			continue
+		}
+		s.runJob(job)
+		// After finishing a job, check for shutdown before leasing another:
+		// graceful drain means "finish what you hold, take nothing new".
+		select {
+		case <-s.ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// runJob executes one leased job through the completion protocol.
+func (s *Service) runJob(job Job) {
+	// A result from an earlier identical job (same key) short-circuits
+	// execution entirely — this is both the dedup path and the post-crash
+	// "already simulated" path.
+	if _, ok := s.st.Get(job.Key); ok {
+		s.hitMu.Lock()
+		s.CacheHits++
+		s.hitMu.Unlock()
+		s.q.Ack(job.ID) //nolint:errcheck // lease may have been reaped; reaper wins
+		return
+	}
+
+	if s.cfg.Chaos.FailExec() {
+		s.q.Nack(job.ID, "faultinject: injected executor failure") //nolint:errcheck // see above
+		return
+	}
+
+	// Heartbeat the lease while the simulation runs.
+	hbDone := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(s.cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				s.q.Heartbeat(job.ID) //nolint:errcheck // stops mattering once the job ends
+			}
+		}
+	}()
+
+	payload, err := s.exec(s.ctx, job.Spec)
+	close(hbDone)
+	hbWG.Wait()
+
+	if err != nil {
+		s.q.Nack(job.ID, err.Error()) //nolint:errcheck // lease may have been reaped
+		return
+	}
+
+	s.cfg.Chaos.BeforePut()
+	if err := s.st.Put(job.Key, payload); err != nil {
+		s.q.Nack(job.ID, fmt.Sprintf("store put: %v", err)) //nolint:errcheck
+		return
+	}
+	s.cfg.Chaos.AfterPut()
+	s.q.Ack(job.ID) //nolint:errcheck // reaped lease: another worker re-runs; identical payload makes it idempotent
+}
+
+func (s *Service) reaperLoop() {
+	t := time.NewTicker(s.cfg.Reap)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.q.Reap()
+		}
+	}
+}
+
+// Close drains the service gracefully: workers finish their in-flight jobs
+// (taking no new ones), then the queue checkpoints and closes. The context
+// bounds the drain; on expiry Close gives up waiting and closes the queue
+// anyway (in-flight work then resolves as expired leases on the next open).
+func (s *Service) Close(ctx context.Context) error {
+	if s.cancel != nil {
+		s.cancel()
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+		}
+	}
+	return s.q.Close()
+}
+
+// Wait blocks until every job in the queue is terminal (done, dead or
+// cancelled) or the context expires.
+func (s *Service) Wait(ctx context.Context) error {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.q.Idle() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}

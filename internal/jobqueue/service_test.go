@@ -1,0 +1,362 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dap/internal/faultinject"
+	"dap/internal/store"
+)
+
+// fastCfg returns a queue config tuned for fast tests: real clock, zero
+// backoff (retries dispatch immediately).
+func fastCfg(dir string) Config {
+	return Config{
+		Dir:         dir,
+		LeaseTTL:    5 * time.Second,
+		MaxAttempts: 3,
+		BackoffBase: time.Nanosecond,
+		BackoffMax:  time.Nanosecond,
+	}
+}
+
+func openSvc(t *testing.T, dir string, exec Executor, scfg ServiceConfig) *Service {
+	t.Helper()
+	q, err := Open(fastCfg(dir + "/queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.Workers == 0 {
+		scfg.Workers = 2
+	}
+	if scfg.Poll == 0 {
+		scfg.Poll = time.Millisecond
+	}
+	if scfg.Reap == 0 {
+		scfg.Reap = 5 * time.Millisecond
+	}
+	return NewService(q, st, exec, scfg)
+}
+
+func waitIdle(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Wait(ctx); err != nil {
+		counts, _ := svc.Queue().Counts()
+		t.Fatalf("service never drained: %v (counts %v)", err, counts)
+	}
+}
+
+func closeSvc(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// echoExec returns a deterministic payload derived from the spec.
+func echoExec(_ context.Context, spec JobSpec) ([]byte, error) {
+	return []byte("result-of-" + spec.String()), nil
+}
+
+func TestServiceRunsSweepToCompletion(t *testing.T) {
+	svc := openSvc(t, t.TempDir(), echoExec, ServiceConfig{})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a", "b", "c"}, Seeds: []uint64{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	counts, total := svc.Queue().Counts()
+	if total != 6 || counts["done"] != 6 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if n := svc.Store().Len(); n != 6 {
+		t.Fatalf("store has %d entries; want 6", n)
+	}
+	// Every result is the executor's payload, addressable by job key.
+	for _, j := range svc.Queue().DoneJobs(1) {
+		got, ok := svc.Store().Get(j.Key)
+		if !ok || string(got) != "result-of-"+j.Spec.String() {
+			t.Fatalf("job %d result = %q, %v", j.ID, got, ok)
+		}
+	}
+}
+
+func TestTransientFailureRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Uint64
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		if calls.Add(1) <= 2 {
+			return nil, errors.New("transient glitch")
+		}
+		return echoExec(nil, spec)
+	}
+	svc := openSvc(t, t.TempDir(), exec, ServiceConfig{Workers: 1})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	j, _ := svc.Queue().Job(1)
+	if j.State != JobDone || j.Attempts != 2 {
+		t.Fatalf("job = state %v attempts %d; want done after 2 failed attempts", j.State, j.Attempts)
+	}
+}
+
+func TestPermanentFailureDeadLetters(t *testing.T) {
+	exec := func(_ context.Context, _ JobSpec) ([]byte, error) {
+		return nil, errors.New("doomed")
+	}
+	svc := openSvc(t, t.TempDir(), exec, ServiceConfig{Workers: 1})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	dead := svc.Queue().DeadLetters()
+	if len(dead) != 2 {
+		t.Fatalf("dead letters = %d; want 2", len(dead))
+	}
+	for _, d := range dead {
+		if d.Attempts != 3 || d.Error != "doomed" || d.State != "dead" {
+			t.Fatalf("dead letter = %+v", d)
+		}
+	}
+	if svc.Store().Len() != 0 {
+		t.Fatal("failed jobs wrote results")
+	}
+}
+
+func TestIdenticalJobsShareStoredResult(t *testing.T) {
+	var execs atomic.Uint64
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		execs.Add(1)
+		return echoExec(nil, spec)
+	}
+	svc := openSvc(t, t.TempDir(), exec, ServiceConfig{Workers: 1})
+	// Two sweeps with the same single job: the second must be a cache hit.
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executor ran %d times; want 1 (second job served from store)", n)
+	}
+	if svc.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d; want 1", svc.CacheHits)
+	}
+	counts, _ := svc.Queue().Counts()
+	if counts["done"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestChaosInjectedExecFailuresAreAbsorbed(t *testing.T) {
+	chaos := faultinject.NewServiceChaos(faultinject.ServicePlan{FailExecEvery: 2})
+	svc := openSvc(t, t.TempDir(), echoExec, ServiceConfig{Workers: 1, Chaos: chaos})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a", "b", "c", "d"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	counts, _ := svc.Queue().Counts()
+	if counts["done"] != 4 {
+		t.Fatalf("counts = %v; want all 4 done despite injected failures", counts)
+	}
+	if chaos.Failed.Load() == 0 {
+		t.Fatal("chaos injected no failures")
+	}
+}
+
+// crashingChaos records the crash instead of exiting, then blocks the
+// worker so the test can observe the "crashed" state.
+func crashingChaos(plan faultinject.ServicePlan, crashed chan<- struct{}) *faultinject.ServiceChaos {
+	chaos := faultinject.NewServiceChaos(plan)
+	var once sync.Once
+	chaos.Exit = func(int) {
+		once.Do(func() { close(crashed) })
+		select {} // the worker goroutine dies with the "process"
+	}
+	return chaos
+}
+
+func TestReconcileAfterCrashBeforePut(t *testing.T) {
+	dir := t.TempDir()
+	crashed := make(chan struct{})
+	chaos := crashingChaos(faultinject.ServicePlan{CrashBeforePut: 1}, crashed)
+	svc := openSvc(t, dir, echoExec, ServiceConfig{Workers: 1, Chaos: chaos})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	<-crashed
+	// The "process" died before Put: no result on disk, job still leased in
+	// the WAL. Reopen from disk as a new process would.
+	svc2 := openSvc(t, dir, echoExec, ServiceConfig{Workers: 1})
+	acked, requeued, err := svc2.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != 0 || requeued != 1 {
+		t.Fatalf("Reconcile = ack %d requeue %d; want 0/1 (no result was stored)", acked, requeued)
+	}
+	j, _ := svc2.Queue().Job(1)
+	if j.Attempts != 0 {
+		t.Fatalf("crash recovery charged an attempt: %d", j.Attempts)
+	}
+	svc2.Start()
+	waitIdle(t, svc2)
+	closeSvc(t, svc2)
+	if counts, _ := svc2.Queue().Counts(); counts["done"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestReconcileAfterCrashAfterPut(t *testing.T) {
+	dir := t.TempDir()
+	crashed := make(chan struct{})
+	chaos := crashingChaos(faultinject.ServicePlan{CrashAfterPut: 1}, crashed)
+	var execs atomic.Uint64
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		execs.Add(1)
+		return echoExec(nil, spec)
+	}
+	svc := openSvc(t, dir, exec, ServiceConfig{Workers: 1, Chaos: chaos})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	<-crashed
+	// The result IS durable; only the ack was lost. Recovery must mark the
+	// job done from the store, not re-simulate.
+	svc2 := openSvc(t, dir, exec, ServiceConfig{Workers: 1})
+	acked, requeued, err := svc2.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != 1 || requeued != 0 {
+		t.Fatalf("Reconcile = ack %d requeue %d; want 1/0 (result already stored)", acked, requeued)
+	}
+	if counts, _ := svc2.Queue().Counts(); counts["done"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("executor ran %d times; the recovered job must not re-simulate", execs.Load())
+	}
+	closeSvc(t, svc2)
+}
+
+func TestGracefulCloseDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		close(started)
+		<-release
+		return echoExec(nil, spec)
+	}
+	svc := openSvc(t, t.TempDir(), exec, ServiceConfig{Workers: 1})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- svc.Close(ctx)
+	}()
+	// Close must wait for the in-flight job, not abandon it.
+	select {
+	case err := <-done:
+		t.Fatalf("Close returned before the in-flight job finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j, _ := svc.Queue().Job(1)
+	if j.State != JobDone {
+		t.Fatalf("in-flight job not drained: %v", j.State)
+	}
+}
+
+func TestHeartbeatKeepsLongJobLeased(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Config{Dir: dir + "/queue", LeaseTTL: 50 * time.Millisecond, BackoffBase: time.Nanosecond, BackoffMax: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		time.Sleep(200 * time.Millisecond) // 4x the lease TTL
+		return echoExec(nil, spec)
+	}
+	svc := NewService(q, st, exec, ServiceConfig{
+		Workers: 1, Poll: time.Millisecond, Heartbeat: 10 * time.Millisecond, Reap: 10 * time.Millisecond,
+	})
+	if _, err := q.Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+	j, _ := q.Job(1)
+	if j.State != JobDone || j.Attempts != 0 {
+		t.Fatalf("long job: state %v attempts %d; want done with no reaped attempts", j.State, j.Attempts)
+	}
+}
+
+func TestWorkerNames(t *testing.T) {
+	// Sanity: worker names thread into lease snapshots (visible over the API).
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(_ context.Context, spec JobSpec) ([]byte, error) {
+		close(started)
+		<-release
+		return echoExec(nil, spec)
+	}
+	svc := openSvc(t, t.TempDir(), exec, ServiceConfig{Workers: 1})
+	if _, err := svc.Queue().Submit(SweepSpec{Mixes: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	<-started
+	j, _ := svc.Queue().Job(1)
+	if j.State != JobLeased || j.Worker != "worker-0" {
+		t.Fatalf("leased job = %+v", j)
+	}
+	close(release)
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+}

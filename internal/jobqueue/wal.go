@@ -1,0 +1,235 @@
+package jobqueue
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dap/internal/store"
+)
+
+// The write-ahead log is one record per line:
+//
+//	<crc32-ieee of the JSON, hex> <JSON record>\n
+//
+// Records are appended (and fsynced) BEFORE the in-memory state mutates, so
+// the journal is always at least as new as memory. Replay stops at the
+// first line that fails its checksum or does not parse — the torn tail a
+// SIGKILL mid-append leaves behind — and everything before it is valid by
+// construction.
+//
+// Checkpoints (full-state snapshots under the store's checksummed envelope,
+// written with an atomic rename) bound replay: a checkpoint carries the
+// sequence number of the last record it covers, and replay skips records at
+// or below it. After a checkpoint lands, the WAL is truncated; a crash
+// between the two leaves old records in the log, which the sequence check
+// makes harmless duplicates.
+
+// walRecord is one journaled state transition.
+type walRecord struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"` // sweep | lease | done | fail | dead | requeue | cancel
+
+	Sweep *sweepRecord `json:"sweep,omitempty"` // op=sweep
+
+	Job    int64  `json:"job,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Expiry (op=lease) and NotBefore (op=fail) are unix nanoseconds.
+	Expiry    int64 `json:"expiry,omitempty"`
+	NotBefore int64 `json:"not_before,omitempty"`
+}
+
+// sweepRecord journals a submitted sweep with its expanded jobs.
+type sweepRecord struct {
+	ID        int64       `json:"id"`
+	Spec      SweepSpec   `json:"spec"`
+	Submitted int64       `json:"submitted"` // unix nanoseconds
+	Jobs      []jobRecord `json:"jobs"`
+}
+
+type jobRecord struct {
+	ID   int64   `json:"id"`
+	Spec JobSpec `json:"spec"`
+	Key  string  `json:"key"`
+}
+
+// wal is the open journal file.
+type wal struct {
+	f    *os.File
+	path string
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: open wal: %w", err)
+	}
+	return &wal{f: f, path: path}, nil
+}
+
+// append journals one record durably (write + fsync).
+func (w *wal) append(rec walRecord) error {
+	line, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("jobqueue: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobqueue: wal sync: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the journal after a checkpoint covered its contents.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("jobqueue: wal truncate: %w", err)
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+func encodeWALRecord(rec walRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: encode wal record: %w", err)
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)), nil
+}
+
+// replayWAL streams the valid prefix of the journal at path through apply,
+// skipping records with Seq <= afterSeq. It returns the highest sequence
+// number seen. A missing file replays nothing; a torn or corrupt line ends
+// the replay silently (it is the expected crash artifact).
+func replayWAL(path string, afterSeq uint64, apply func(walRecord)) (lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return afterSeq, nil
+	}
+	if err != nil {
+		return afterSeq, fmt.Errorf("jobqueue: open wal: %w", err)
+	}
+	defer f.Close()
+
+	lastSeq = afterSeq
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		rec, ok := decodeWALLine(sc.Bytes())
+		if !ok {
+			break // torn tail: everything after it is untrustworthy
+		}
+		if rec.Seq > lastSeq {
+			lastSeq = rec.Seq
+			apply(rec)
+		}
+	}
+	return lastSeq, nil
+}
+
+func decodeWALLine(line []byte) (walRecord, bool) {
+	var rec walRecord
+	var crc uint32
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+		return rec, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return rec, false
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// checkpointState is the full queue state snapshot written at a checkpoint.
+type checkpointState struct {
+	Seq       uint64            `json:"seq"`
+	NextJob   int64             `json:"next_job"`
+	NextSweep int64             `json:"next_sweep"`
+	Sweeps    []checkpointSweep `json:"sweeps"`
+	Jobs      []checkpointJob   `json:"jobs"`
+}
+
+type checkpointSweep struct {
+	ID        int64     `json:"id"`
+	Spec      SweepSpec `json:"spec"`
+	JobIDs    []int64   `json:"job_ids"`
+	Submitted int64     `json:"submitted"`
+	Cancelled bool      `json:"cancelled,omitempty"`
+}
+
+type checkpointJob struct {
+	ID        int64   `json:"id"`
+	SweepID   int64   `json:"sweep"`
+	Spec      JobSpec `json:"spec"`
+	Key       string  `json:"key"`
+	State     int32   `json:"state"`
+	Attempts  int     `json:"attempts,omitempty"`
+	LastErr   string  `json:"err,omitempty"`
+	Worker    string  `json:"worker,omitempty"`
+	NotBefore int64   `json:"not_before,omitempty"`
+	Expiry    int64   `json:"expiry,omitempty"`
+}
+
+const checkpointTag = "jobqueue-checkpoint"
+
+// writeCheckpoint atomically persists the snapshot.
+func writeCheckpoint(path string, st checkpointState) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("jobqueue: encode checkpoint: %w", err)
+	}
+	if err := store.WriteFileAtomic(path, checkpointTag, payload); err != nil {
+		return fmt.Errorf("jobqueue: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads the snapshot at path. A missing or corrupt
+// checkpoint returns an empty state (recovery then replays the WAL from
+// the beginning); because checkpoints are written with an atomic rename, a
+// corrupt one can only mean the very first checkpoint was torn before any
+// WAL truncation happened, so no history is lost.
+func readCheckpoint(path string) checkpointState {
+	payload, tag, err := store.ReadFileVerified(path)
+	if err != nil || tag != checkpointTag {
+		return checkpointState{}
+	}
+	var st checkpointState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return checkpointState{}
+	}
+	return st
+}
+
+// unixNano renders a time for a journal record (zero time -> 0).
+func unixNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// fromUnixNano parses a journaled time (0 -> zero time).
+func fromUnixNano(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+func walPath(dir string) string        { return filepath.Join(dir, "wal.log") }
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint") }

@@ -57,6 +57,22 @@ type Server struct {
 	httpSrv *http.Server
 	lis     net.Listener
 	started time.Time
+	extra   []extraRoute
+}
+
+type extraRoute struct {
+	pattern string
+	h       http.HandlerFunc
+}
+
+// Handle registers an additional route on the server's mux (Go 1.22
+// method+wildcard patterns, e.g. "POST /jobs"). It lets subsystems such as
+// the sweep service mount their API on the same listener; call it before
+// Start/Handler.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extra = append(s.extra, extraRoute{pattern, h})
 }
 
 // NewServer builds a server over the given registries (pass Default and
@@ -79,6 +95,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	extra := s.extra
+	s.mu.Unlock()
+	for _, r := range extra {
+		mux.HandleFunc(r.pattern, r.h)
+	}
 	return mux
 }
 
@@ -152,11 +174,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, run.snapshot(true))
 }
 
+// sseHeartbeatEvery is the idle-stream keepalive period: a comment line is
+// written so proxies and LBs with idle timeouts keep the connection open.
+// Package-level so tests can shrink it.
+var sseHeartbeatEvery = 15 * time.Second
+
 // handleStream serves the SSE window stream: a `meta` event carrying the
 // run snapshot and column names, one `window` event per sampler window
 // (ring history replayed first, then live), and a closing `done` event with
-// the final snapshot. Slow consumers drop windows rather than ever
-// back-pressuring the simulation.
+// the final snapshot. Idle streams carry periodic heartbeat comments so
+// intermediaries do not cut them; slow consumers drop windows rather than
+// ever back-pressuring the simulation.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	run := s.runFromPath(w, r)
 	if run == nil {
@@ -184,10 +212,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	ctx := r.Context()
+	hb := time.NewTicker(sseHeartbeatEvery)
+	defer hb.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
+		case <-hb.C:
+			// SSE comment line: ignored by clients, resets proxy idle timers.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
 		case win, ok := <-live:
 			if !ok {
 				sendEvent(w, "done", run.snapshot(false))

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSlowConsumerNeverBlocksPublisher connects a stream client that stops
+// reading, then publishes far more windows than any buffer in the path can
+// hold. Publish must stay non-blocking (the whole burst completes within
+// the deadline) and the overflow must surface as dropped windows on the
+// run, not as back-pressure on the simulation.
+func TestSlowConsumerNeverBlocksPublisher(t *testing.T) {
+	_, runs, ts := newTestService()
+	defer ts.Close()
+
+	run := runs.Start(RunInfo{Mix: "mcf", Policy: "dap", Horizon: 1_000_000})
+	run.SetColumns([]string{"core0.ipc"})
+
+	// A raw TCP client that sends the request and then never reads: the
+	// worst kind of stalled consumer (the server cannot even write).
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /runs/%d/stream HTTP/1.1\r\nHost: x\r\nAccept: text/event-stream\r\n\r\n", run.ID)
+	// Give the handler a moment to subscribe.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		run.mu.Lock()
+		n := len(run.subs)
+		run.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Publish a burst 8x the subscriber buffer. If Publish could block on
+	// the stalled client, this loop would hang and the test would time out;
+	// bound it explicitly so the failure mode is a clear assertion.
+	const burst = 2048
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		run.Publish(uint64(i), []float64{1.0})
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("publishing %d windows took %v: publisher was back-pressured", burst, elapsed)
+	}
+
+	run.mu.Lock()
+	dropped := run.dropped
+	run.mu.Unlock()
+	if dropped == 0 {
+		t.Fatal("no windows dropped: the stalled subscriber absorbed an unbounded burst")
+	}
+	snap := run.snapshot(false)
+	if snap.Dropped != dropped {
+		t.Fatalf("snapshot dropped = %d; run counted %d", snap.Dropped, dropped)
+	}
+	run.Finish(nil, nil)
+}
+
+// TestSSEHeartbeatOnIdleStream shrinks the heartbeat period and checks that
+// an idle stream (no windows published) still carries periodic comment
+// lines, so proxy idle timeouts never reap a healthy connection.
+func TestSSEHeartbeatOnIdleStream(t *testing.T) {
+	old := sseHeartbeatEvery
+	sseHeartbeatEvery = 20 * time.Millisecond
+	defer func() { sseHeartbeatEvery = old }()
+
+	_, runs, ts := newTestService()
+	defer ts.Close()
+	run := runs.Start(RunInfo{Mix: "mcf", Policy: "dap", Horizon: 1_000_000})
+	run.SetColumns([]string{"core0.ipc"})
+	defer run.Finish(nil, nil)
+
+	resp, err := http.Get(ts.URL + fmt.Sprintf("/runs/%d/stream", run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	found := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		heartbeats := 0
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": heartbeat") {
+				heartbeats++
+				if heartbeats == 2 { // two periods: a ticker, not a one-off
+					close(found)
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-found:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no heartbeat comments on an idle stream")
+	}
+}

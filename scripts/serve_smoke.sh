@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test of the live telemetry service.
 #
-# Builds dapsim (race detector on), starts it with -serve on a random port,
-# waits for the replicated quick run to finish, asserts that /healthz and
-# /metrics answer 200 and that the metric families the dashboard depends on
-# (DAP credit gauges, runner pool counters) are present, then checks the
-# server shuts down cleanly on SIGINT (exit 0 via context cancellation).
+# Builds dapsim (race detector on), starts it with -serve on a random port
+# (port 0, so parallel CI jobs never collide), waits for the replicated
+# quick run to finish, asserts that /healthz and /metrics answer 200 and
+# that the metric families the dashboard depends on (DAP credit gauges,
+# runner pool counters) are present, then checks the server shuts down
+# cleanly on SIGINT (exit 0 via context cancellation).
+#
+# Every failure path — including the server never printing its bound
+# address — dumps the server's captured output so a CI log is actionable
+# without a rerun.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -13,12 +18,42 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 log="$tmp/dapsim.log"
 pid=""
-fail() {
-    echo "serve-smoke: FAIL: $*" >&2
-    [ -s "$log" ] && { echo "--- dapsim log ---" >&2; cat "$log" >&2; }
+
+cleanup() {
     [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
     rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+dump_log() {
+    echo "--- dapsim output ($log) ---" >&2
+    if [ -s "$log" ]; then
+        cat "$log" >&2
+    else
+        echo "(no output captured)" >&2
+    fi
+    echo "--- end dapsim output ---" >&2
+}
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    dump_log
     exit 1
+}
+
+# wait_for <deadline-seconds> <description> <predicate...>
+# Polls the predicate every 0.5s; fails (with server output) when the
+# server dies or the deadline passes.
+wait_for() {
+    local deadline=$1 what=$2
+    shift 2
+    local tries=$((deadline * 2))
+    for _ in $(seq 1 "$tries"); do
+        "$@" && return 0
+        kill -0 "$pid" 2>/dev/null || fail "dapsim exited while waiting for $what"
+        sleep 0.5
+    done
+    fail "timeout: $what did not happen within ${deadline}s"
 }
 
 echo "serve-smoke: building dapsim (-race)"
@@ -28,22 +63,18 @@ go build -race -o "$tmp/dapsim" ./cmd/dapsim || fail "build"
     -replicate 2 -j 2 -serve 127.0.0.1:0 >"$log" 2>&1 &
 pid=$!
 
-# Wait for the bound address, then for the run to complete (metrics final).
-addr=""
-for _ in $(seq 1 120); do
+# Startup: the server must print its bound address promptly; a hang here is
+# the classic mis-binding failure, so surface the server's own output.
+bound_addr() {
     addr=$(sed -n 's|^telemetry: serving on http://||p' "$log" | head -1)
-    [ -n "$addr" ] && break
-    kill -0 "$pid" 2>/dev/null || fail "dapsim exited before serving"
-    sleep 0.5
-done
-[ -n "$addr" ] && echo "serve-smoke: serving on $addr" || fail "no bound address after 60s"
+    [ -n "$addr" ]
+}
+addr=""
+wait_for 60 "bound address on stdout" bound_addr
+echo "serve-smoke: serving on $addr"
 
-for _ in $(seq 1 240); do
-    grep -q "run complete" "$log" && break
-    kill -0 "$pid" 2>/dev/null || fail "dapsim exited before completing the run"
-    sleep 0.5
-done
-grep -q "run complete" "$log" || fail "run did not complete within 120s"
+run_complete() { grep -q "run complete" "$log"; }
+wait_for 120 "replicated run completion" run_complete
 
 code=$(curl -s -o "$tmp/healthz" -w '%{http_code}' "http://$addr/healthz") || fail "curl /healthz"
 [ "$code" = 200 ] || fail "/healthz returned $code"
@@ -59,6 +90,6 @@ kill -INT "$pid"
 wait "$pid"
 status=$?
 [ "$status" = 0 ] || fail "dapsim exited $status after SIGINT, want clean 0"
+pid=""
 
-rm -rf "$tmp"
 echo "serve-smoke: PASS"
