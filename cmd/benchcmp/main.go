@@ -6,7 +6,14 @@
 //
 //	go run ./cmd/benchcmp BENCH_BASE.json BENCH_HEAD.json
 //	go run ./cmd/benchcmp -threshold 5 old.json new.json
+//	go run ./cmd/benchcmp -match 'EndToEnd|Replicate' base.json head.json
 //	make bench-cmp BASE=BENCH_PR3.json HEAD=BENCH_HEAD.json
+//
+// -match restricts the gate to benchmarks whose name matches the regexp.
+// Sub-microsecond benchmarks recorded in different sessions track machine
+// state (frequency scaling, co-tenant load) as much as code, so a gate
+// spanning recording sessions should match the long-running end-to-end
+// benchmarks, where real regressions dominate noise.
 //
 // A benchmark present in the baseline but missing from the head report is a
 // hard failure: a silently vanished benchmark usually means a renamed or
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 )
 
 type entry struct {
@@ -50,8 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 10, "regression gate in percent: fail when ns/op or allocs/op grows by more than this")
+	match := fs.String("match", "", "regexp restricting the gate to matching benchmark names (empty = all)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: benchcmp [-threshold pct] BASE.json HEAD.json\n")
+		fmt.Fprintf(stderr, "usage: benchcmp [-threshold pct] [-match regexp] BASE.json HEAD.json\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
@@ -60,19 +69,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	re, err := compileMatch(*match)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: bad -match: %v\n", err)
+		return 2
+	}
 	base, err := load(fs.Arg(0))
 	if err == nil {
 		var head report
 		head, err = load(fs.Arg(1))
 		if err == nil {
-			return compare(base, head, fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
+			return compare(base, head, fs.Arg(0), fs.Arg(1), *threshold, re, stdout, stderr)
 		}
 	}
 	fmt.Fprintf(stderr, "benchcmp: %v\n", err)
 	return 1
 }
 
-func compare(base, head report, basePath, headPath string, threshold float64, stdout, stderr io.Writer) int {
+// compileMatch turns the -match value into a filter; empty matches all.
+func compileMatch(expr string) (*regexp.Regexp, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	return regexp.Compile(expr)
+}
+
+func compare(base, head report, basePath, headPath string, threshold float64, match *regexp.Regexp, stdout, stderr io.Writer) int {
 	baseBy := make(map[string]entry, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -82,12 +104,20 @@ func compare(base, head report, basePath, headPath string, threshold float64, st
 		headBy[h.Name] = h
 	}
 
-	fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op)\n\n",
-		basePath, headPath, threshold)
+	if match != nil {
+		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op, match %q)\n\n",
+			basePath, headPath, threshold, match.String())
+	} else {
+		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op)\n\n",
+			basePath, headPath, threshold)
+	}
 	fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "Δns/op", "Δallocs")
 
 	regressions := 0
 	for _, b := range base.Benchmarks { // base order keeps the table stable
+		if match != nil && !match.MatchString(b.Name) {
+			continue
+		}
 		h, ok := headBy[b.Name]
 		if !ok {
 			// Present in base, gone in head: hard failure. A benchmark that
@@ -108,6 +138,9 @@ func compare(base, head report, basePath, headPath string, threshold float64, st
 			b.Name, fmtNs(b.NsPerOp), fmtNs(h.NsPerOp), fmtPct(dns), fmtPct(dallocs), mark)
 	}
 	for _, h := range head.Benchmarks {
+		if match != nil && !match.MatchString(h.Name) {
+			continue
+		}
 		if _, ok := baseBy[h.Name]; !ok {
 			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  (new)\n", h.Name, "-", fmtNs(h.NsPerOp), "-", "-")
 		}

@@ -88,6 +88,40 @@ func TestThresholdFlag(t *testing.T) {
 	}
 }
 
+// TestMatchFlagScopesGate: the regressed fixture must pass when -match
+// restricts the gate to the (unregressed) end-to-end benchmark — both the
+// 2x EngineEventLoop regression and the MISSING RemovedInHead are outside
+// the match and must neither gate nor appear in the table.
+func TestMatchFlagScopesGate(t *testing.T) {
+	code, stdout, stderr := runFixture(t, "-match", "EndToEndQuickRun",
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_regressed.json"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, excluded := range []string{"BenchmarkEngineEventLoop", "BenchmarkRemovedInHead", "BenchmarkNewInHead"} {
+		if strings.Contains(stdout, excluded) {
+			t.Errorf("non-matching benchmark %s in table:\n%s", excluded, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "BenchmarkEndToEndQuickRun") {
+		t.Errorf("matched benchmark absent from table:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, `match "EndToEndQuickRun"`) {
+		t.Errorf("header does not echo the match expression:\n%s", stdout)
+	}
+}
+
+func TestBadMatchRegexpIsUsageError(t *testing.T) {
+	code, _, stderr := runFixture(t, "-match", "(",
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_ok.json"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bad -match") {
+		t.Errorf("stderr = %q, want bad -match message", stderr)
+	}
+}
+
 func TestUsageAndBadInput(t *testing.T) {
 	if code, _, _ := runFixture(t, "only-one.json"); code != 2 {
 		t.Errorf("one arg: exit = %d, want 2", code)

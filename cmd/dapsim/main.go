@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,19 +59,25 @@ func main() {
 		serveAddr    = flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address (e.g. :8080, :0 = any free port); keeps serving after the run until interrupted")
 		sweepDir     = flag.String("sweep-dir", "", "run as a durable sweep service: job queue + result store under this directory, API on the -serve address (requires -serve)")
 		sweepWorkers = flag.Int("sweep-workers", 0, "sweep service worker count (0 = GOMAXPROCS)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat    = flag.String("log-format", "text", "structured log format: text | json")
 	)
 	flag.Parse()
+
+	// Structured logs go to stderr so stdout keeps carrying results and the
+	// service banner lines scripts grep for.
+	logger := dap.NewLogger(os.Stderr, *logLevel, *logFormat)
 
 	if *sweepDir != "" {
 		if *serveAddr == "" {
 			fatalf("-sweep-dir requires -serve (the API mounts on the telemetry address)")
 		}
-		runSweepService(*serveAddr, *sweepDir, *sweepWorkers)
+		runSweepService(*serveAddr, *sweepDir, *sweepWorkers, logger)
 		return
 	}
 
 	if *serveAddr != "" {
-		srv, bound, err := dap.Serve(*serveAddr)
+		srv, bound, err := dap.ServeLogged(*serveAddr, logger)
 		fatalIf(err)
 		fmt.Printf("telemetry: serving on http://%s\n", bound)
 		defer func() {
@@ -225,8 +232,9 @@ func main() {
 // interrupted: telemetry + sweep API on addr, queue and result store under
 // dir. Shutdown drains in-flight jobs, checkpoints the queue and exits 0;
 // a SIGKILLed process instead resumes from its journal on the next start.
-func runSweepService(addr, dir string, workers int) {
-	srv, svc, bound, err := dap.ServeSweeps(addr, dir, workers)
+func runSweepService(addr, dir string, workers int, logger *slog.Logger) {
+	srv, svc, bound, err := dap.ServeSweepsObserved(addr, dir,
+		dap.SweepServeOptions{Workers: workers, Logger: logger})
 	fatalIf(err)
 	fmt.Printf("sweep service: serving on http://%s (state in %s)\n", bound, dir)
 

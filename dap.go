@@ -21,6 +21,8 @@ package dap
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"path/filepath"
 	"strings"
 
@@ -268,12 +270,27 @@ type TelemetryServer = telemetry.Server
 // simulation in the process registers itself automatically; publishing is
 // lock-free and read-only, so serving telemetry never perturbs results.
 func Serve(addr string) (*TelemetryServer, string, error) {
+	return ServeLogged(addr, nil)
+}
+
+// ServeLogged is Serve with structured request logging: every HTTP request
+// gets one slog record (method, path, status, duration) on logger. A nil
+// logger serves silently, exactly like Serve.
+func ServeLogged(addr string, logger *slog.Logger) (*TelemetryServer, string, error) {
 	srv := telemetry.NewServer(telemetry.Default, telemetry.Runs)
+	srv.Logger = logger
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return nil, "", err
 	}
 	return srv, bound, nil
+}
+
+// NewLogger builds a structured logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn" or "error" (default info). It is
+// the logger behind dapsim's -log-level/-log-format flags.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	return obs.NewLogger(w, level, format)
 }
 
 // ParseArchitecture resolves an architecture name ("sectored", "alloy",
@@ -302,7 +319,37 @@ type SweepSpec = jobqueue.SweepSpec
 // completed jobs are served from the result store, not re-simulated. Stop
 // with svc.Close then srv.Shutdown.
 func ServeSweeps(addr, dir string, workers int) (*TelemetryServer, *SweepService, string, error) {
-	q, err := jobqueue.Open(harness.SweepQueueConfig(filepath.Join(dir, "queue")))
+	return ServeSweepsObserved(addr, dir, SweepServeOptions{Workers: workers})
+}
+
+// SweepServeOptions parameterizes ServeSweepsObserved beyond the state
+// directory: worker count, structured logging, job-lifecycle trace capacity
+// and where stalled jobs' flight-recorder dumps land.
+type SweepServeOptions struct {
+	// Workers is the concurrent executor count (0 = GOMAXPROCS).
+	Workers int
+	// Logger receives every job state transition, simulation lifecycle
+	// record and HTTP request, each stamped with the job's correlation ID
+	// where one applies. nil serves silently.
+	Logger *slog.Logger
+	// JobTraceCap bounds the in-memory job-lifecycle trace served at /trace
+	// (0 = 65536 events).
+	JobTraceCap int
+	// FlightDir is where aborted jobs' flight-recorder dumps are persisted
+	// and served from at /jobs/{id}/flight ("" = <dir>/flight).
+	FlightDir string
+}
+
+// ServeSweepsObserved is ServeSweeps with service-grade observability: a
+// structured logger threading one correlation ID per job from submission
+// through execution to acknowledgment, a bounded job-lifecycle Chrome trace
+// at GET /trace (open in Perfetto), and stalled jobs' flight-recorder dumps
+// persisted under FlightDir and served at GET /jobs/{id}/flight.
+func ServeSweepsObserved(addr, dir string, opts SweepServeOptions) (*TelemetryServer, *SweepService, string, error) {
+	qcfg := harness.SweepQueueConfig(filepath.Join(dir, "queue"))
+	qcfg.Logger = opts.Logger
+	qcfg.Tracer = obs.NewJobTracer(opts.JobTraceCap)
+	q, err := jobqueue.Open(qcfg)
 	if err != nil {
 		return nil, nil, "", err
 	}
@@ -311,12 +358,19 @@ func ServeSweeps(addr, dir string, workers int) (*TelemetryServer, *SweepService
 		q.Close() //nolint:errcheck // surfacing the open error
 		return nil, nil, "", err
 	}
-	svc := jobqueue.NewService(q, st, harness.SweepExecutor, jobqueue.ServiceConfig{Workers: workers})
+	flightDir := opts.FlightDir
+	if flightDir == "" {
+		flightDir = filepath.Join(dir, "flight")
+	}
+	svc := jobqueue.NewService(q, st, harness.SweepExecutor, jobqueue.ServiceConfig{
+		Workers: opts.Workers, FlightDir: flightDir,
+	})
 	if _, _, err := svc.Reconcile(); err != nil {
 		q.Close() //nolint:errcheck // surfacing the reconcile error
 		return nil, nil, "", err
 	}
 	srv := telemetry.NewServer(telemetry.Default, telemetry.Runs)
+	srv.Logger = opts.Logger
 	jobqueue.NewAPI(svc).Attach(srv)
 	bound, err := srv.Start(addr)
 	if err != nil {

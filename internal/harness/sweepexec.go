@@ -3,9 +3,12 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"dap/internal/jobqueue"
+	"dap/internal/obs"
+	"dap/internal/sim"
 	"dap/internal/stats"
 	"dap/internal/workload"
 )
@@ -66,6 +69,10 @@ func sweepConfig(spec jobqueue.JobSpec) (Config, workload.Mix, error) {
 	if err != nil {
 		return Config{}, workload.Mix{}, err
 	}
+	// The service always flies the black box: Flight is part of the resolved
+	// configuration (rather than toggled after the fact) so SweepKey's
+	// fingerprint and the fingerprint embedded in the stored result agree.
+	cfg.Flight = true
 	return cfg, mix, nil
 }
 
@@ -119,20 +126,40 @@ type SweepResult struct {
 }
 
 // SweepExecutor runs one job spec through the simulator and renders its
-// SweepResult. It is the jobqueue.Executor of the sweep service.
-func SweepExecutor(_ context.Context, spec jobqueue.JobSpec) ([]byte, error) {
+// SweepResult. It is the jobqueue.Executor of the sweep service. The
+// context carries the job's correlation ID and logger (obs.WithCorr /
+// obs.WithLogger); an aborted run comes back as an *obs.FlightError
+// wrapping the cause, so the service can persist and serve the frozen
+// flight recording as a postmortem.
+func SweepExecutor(ctx context.Context, spec jobqueue.JobSpec) ([]byte, error) {
 	cfg, mix, err := sweepConfig(spec)
 	if err != nil {
 		return nil, err
 	}
+	corr := obs.Corr(ctx)
+	log := obs.LoggerFrom(ctx)
+	log.Info("simulation start", "corr", corr,
+		"mix", mix.Name, "arch", cfg.Arch.String(), "policy", cfg.Policy.String(),
+		"seed", spec.Seed, "fingerprint", Fingerprint(cfg))
 	res, err := RunSeededE(cfg, mix, spec.Seed)
 	if err != nil {
+		reason, snap := classifyAbort(err)
+		log.Error("simulation aborted", "corr", corr, "reason", reason, "err", err.Error())
+		if res.Flight != nil {
+			dump := res.Flight.Dump(reason, snap)
+			dump.Corr = corr
+			dump.Key = SweepKey(spec)
+			dump.Error = err.Error()
+			return nil, &obs.FlightError{Dump: dump, Err: err}
+		}
 		return nil, err
 	}
 	agg := 0.0
 	for i := range res.Cores {
 		agg += res.Cores[i].IPC()
 	}
+	log.Info("simulation done", "corr", corr,
+		"mix", mix.Name, "agg_ipc", agg, "cycles", uint64(res.Cycles))
 	out := SweepResult{
 		Mix: mix.Name, Arch: cfg.Arch.String(), Policy: cfg.Policy.String(),
 		Seed: spec.Seed, Fingerprint: Fingerprint(cfg), AggIPC: agg, Run: res.Run,
@@ -142,6 +169,20 @@ func SweepExecutor(_ context.Context, spec jobqueue.JobSpec) ([]byte, error) {
 		return nil, fmt.Errorf("encode sweep result: %w", err)
 	}
 	return payload, nil
+}
+
+// classifyAbort maps an abnormal run ending onto a flight-dump reason and
+// extracts the engine-state snapshot captured at detection time.
+func classifyAbort(err error) (reason, snapshot string) {
+	var stall *sim.StallError
+	if errors.As(err, &stall) {
+		return "watchdog-stall", stall.Snapshot
+	}
+	var audit *AuditError
+	if errors.As(err, &audit) {
+		return "audit-violation", ""
+	}
+	return "run-error", ""
 }
 
 // SweepQueueConfig is the queue configuration the sweep service uses: state

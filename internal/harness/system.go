@@ -144,6 +144,19 @@ type Config struct {
 	TraceSample int
 	// TraceCap bounds the span buffer (0 = 65536; later spans are dropped).
 	TraceCap int
+
+	// Flight enables the stall flight recorder: a bounded ring of recent
+	// engine-state summaries sampled every FlightEvery executed events,
+	// frozen into Result.Flight. When the run aborts (watchdog stall,
+	// deadlock, audit violation, injected fault) the recording turns the
+	// failure into a postmortem artifact; on a clean run it is simply
+	// discarded. Like every observer it is strictly read-only: runs with
+	// the recorder on yield a bit-identical stats.Run.
+	Flight bool
+	// FlightEvery is the sampling stride in executed events (0 = 65536).
+	FlightEvery int
+	// FlightCap bounds the ring in entries (0 = 192; oldest evicted first).
+	FlightCap int
 }
 
 // DefaultWatchdogEvents is the watchdog deadline when Config.WatchdogEvents
@@ -202,6 +215,9 @@ type Result struct {
 	// and DAP technique (nil unless Config.Trace). It lives here rather
 	// than inside stats.Run so instrumented runs keep a bit-identical Run.
 	Breakdown *stats.LatencyBreakdown
+	// Flight holds the stall flight recording (nil unless Config.Flight).
+	// On an aborted run, freeze it with Flight.Dump for the postmortem.
+	Flight *obs.FlightRecorder
 }
 
 // dapConfigFor derives the DAP parameters for the configured architecture.
@@ -253,10 +269,11 @@ type System struct {
 	CPU  *cpu.CPU
 	Part core.Partitioner
 
-	// Metrics and Trace are the observability instruments (nil when the
-	// corresponding Config knob is off); Run hands them to the Result.
+	// Metrics, Trace and Flight are the observability instruments (nil when
+	// the corresponding Config knob is off); Run hands them to the Result.
 	Metrics *obs.Sampler
 	Trace   *obs.Tracer
+	Flight  *obs.FlightRecorder
 
 	dap      *core.DAP
 	sectored *mscache.Sectored
@@ -364,6 +381,9 @@ func Build(cfg Config, mix workload.Mix) *System {
 		s.Metrics = obs.NewSampler(s.Eng.Clock(), s.Eng.After, s.Eng.Pending,
 			cfg.MetricsEvery, cfg.MetricsCap)
 		s.registerMetrics()
+	}
+	if cfg.Flight {
+		s.Flight = obs.NewFlightRecorder(cfg.FlightCap)
 	}
 	return s
 }
@@ -473,6 +493,15 @@ func (s *System) Run() Result {
 	if cfg.Audit {
 		s.startAudit()
 	}
+	if s.Flight != nil {
+		every := cfg.FlightEvery
+		if every == 0 {
+			every = 65536
+		}
+		s.Eng.SetFlightSampler(every, s.flightSample)
+		s.Flight.Addf(s.Eng.Now(), "measure-start mix=%s arch=%s policy=%s horizon=%d events",
+			s.mixName, cfg.Arch, cfg.Policy, limit)
+	}
 	if s.inj != nil && s.dap != nil {
 		s.inj.ArmCreditFault(s.Eng.After, s.dap)
 	}
@@ -499,6 +528,14 @@ func (s *System) Run() Result {
 		// directly.
 		r.Abort = &sim.StallError{Cycle: s.Eng.Now(), Pending: 0, Snapshot: s.snapshot()}
 	}
+	if s.Flight != nil {
+		if r.Abort != nil {
+			s.Flight.Addf(s.Eng.Now(), "run-aborted pending=%d", s.Eng.Pending())
+		} else {
+			s.Flight.Add(s.Eng.Now(), "run-complete")
+		}
+		r.Flight = s.Flight
+	}
 	r.Cycles = s.Eng.Now() - start
 	r.Cores = s.CPU.CoreStats()
 	r.MemSide = *s.Ctrl.MSStats()
@@ -519,6 +556,23 @@ func (s *System) Run() Result {
 		"delivered_gbps": r.DeliveredGBps,
 	})
 	return r
+}
+
+// flightSample is the engine's periodic flight-recorder feed: one compact
+// line of system state per sample — enough to see queue growth, credit
+// drift or frozen CPU progress across the ring's history without the cost
+// of a full snapshot per sample.
+func (s *System) flightSample(c mem.Cycle) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pending=%d progress=%d", s.Eng.Pending(), s.CPU.ProgressFingerprint())
+	for _, d := range s.devices() {
+		fmt.Fprintf(&b, " q[%s]=%d", d.Cfg.Name, d.QueueLen())
+	}
+	if s.dap != nil {
+		fwb, wb, ifrm, sfrm, wt := s.dap.Credits()
+		fmt.Fprintf(&b, " credits=fwb:%d,wb:%d,ifrm:%d,sfrm:%d,wt:%d", fwb, wb, ifrm, sfrm, wt)
+	}
+	s.Flight.Add(c, b.String())
 }
 
 // snapshot captures the simulation state for a stall or audit diagnostic:

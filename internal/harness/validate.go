@@ -73,5 +73,10 @@ func (c *Config) Validate() error {
 	if (c.TraceSample > 0 || c.TraceCap > 0) && !c.Trace {
 		errs.Addf("TraceSample", c.TraceSample, "trace knobs set without Trace: the tracer would never run")
 	}
+	errs.NonNegative("FlightEvery", c.FlightEvery)
+	errs.NonNegative("FlightCap", c.FlightCap)
+	if (c.FlightEvery > 0 || c.FlightCap > 0) && !c.Flight {
+		errs.Addf("FlightEvery", c.FlightEvery, "flight knobs set without Flight: the recorder would never run")
+	}
 	return errs.Err()
 }

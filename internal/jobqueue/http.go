@@ -17,7 +17,9 @@ import (
 //	GET    /jobs/{id}          one sweep with per-job states and attempts
 //	DELETE /jobs/{id}          cancel a sweep's queued jobs
 //	GET    /jobs/{id}/results  completed jobs' stored result payloads
+//	GET    /jobs/{id}/flight   a stalled job's persisted flight-recorder dump
 //	GET    /deadletters        jobs that exhausted their attempts
+//	GET    /trace              the job-lifecycle Chrome trace (open in Perfetto)
 type API struct {
 	svc *Service
 }
@@ -33,7 +35,9 @@ func (a *API) Attach(srv *telemetry.Server) {
 	srv.Handle("GET /jobs/{id}", a.handleSweep)
 	srv.Handle("DELETE /jobs/{id}", a.handleCancel)
 	srv.Handle("GET /jobs/{id}/results", a.handleResults)
+	srv.Handle("GET /jobs/{id}/flight", a.handleFlight)
 	srv.Handle("GET /deadletters", a.handleDeadLetters)
+	srv.Handle("GET /trace", a.handleTrace)
 }
 
 func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -137,6 +141,37 @@ func (a *API) handleResults(w http.ResponseWriter, r *http.Request) {
 		out.Done++
 	}
 	writeJSON(w, out)
+}
+
+// handleFlight serves the persisted flight-recorder dump of one job. Here
+// {id} is a job ID (dumps are per job, not per sweep); only jobs whose run
+// stalled or aborted have one.
+func (a *API) handleFlight(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	data, ok := a.svc.FlightDump(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no flight recording for job %d", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client gone
+}
+
+// handleTrace streams the job-lifecycle tracer's Chrome trace JSON — load
+// it into Perfetto (ui.perfetto.dev) to see every job's queue-wait, lease,
+// execute and store-put spans with retry and dead-letter edges.
+func (a *API) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	tracer := a.svc.Queue().cfg.Tracer
+	if tracer == nil {
+		http.Error(w, "job tracing disabled (no tracer configured)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tracer.WriteChromeTrace(w) //nolint:errcheck // client gone
 }
 
 func (a *API) handleDeadLetters(w http.ResponseWriter, _ *http.Request) {

@@ -132,6 +132,22 @@ type Job struct {
 	// LeaseExpiry is the deadline a leased job must be heartbeated or
 	// finished by before the reaper re-queues it.
 	LeaseExpiry time.Time
+
+	// enqueuedAt and leasedAt are in-memory instrumentation marks feeding
+	// the queue-wait and lease-duration histograms. They are deliberately
+	// not journaled: after a restart they reset, so the first post-restart
+	// observation of a recovered job measures from recovery — which is the
+	// operationally honest number — and replay never re-observes history.
+	enqueuedAt time.Time
+	leasedAt   time.Time
+}
+
+// Corr is the job's correlation ID: a pure function of the sweep and job
+// IDs ("s<sweep>-j<job>"), so it is stable across restarts, appears in
+// every log record, trace event and flight dump about the job, and needs no
+// journal support. Grep one corr value to reconstruct a job's lifecycle.
+func (j *Job) Corr() string {
+	return fmt.Sprintf("s%d-j%d", j.SweepID, j.ID)
 }
 
 // Sweep groups the jobs of one submitted spec.
@@ -147,6 +163,7 @@ type Sweep struct {
 type JobSnapshot struct {
 	ID       int64   `json:"id"`
 	Sweep    int64   `json:"sweep"`
+	Corr     string  `json:"corr"`
 	Spec     JobSpec `json:"spec"`
 	Key      string  `json:"key"`
 	State    string  `json:"state"`
@@ -178,7 +195,7 @@ func stateLabel(j *Job) string {
 
 func snapshotJob(j *Job) JobSnapshot {
 	return JobSnapshot{
-		ID: j.ID, Sweep: j.SweepID, Spec: j.Spec, Key: j.Key,
+		ID: j.ID, Sweep: j.SweepID, Corr: j.Corr(), Spec: j.Spec, Key: j.Key,
 		State: stateLabel(j), Attempts: j.Attempts, Error: j.LastErr, Worker: j.Worker,
 	}
 }

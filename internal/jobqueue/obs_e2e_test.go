@@ -1,0 +1,203 @@
+package jobqueue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dap/internal/faultinject"
+	"dap/internal/mem"
+	"dap/internal/obs"
+	"dap/internal/store"
+	"dap/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe log sink: workers log concurrently.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServiceObservabilityEndToEnd drives a chaos-interrupted sweep through
+// a fully instrumented service and asserts the whole observability surface
+// at once: the Perfetto trace carries the lifecycle spans plus at least one
+// retry and one dead-letter edge, the latency histograms counted real
+// observations, one correlation ID threads through the log records from
+// enqueue to ack, the stalled job's flight dump is persisted and servable,
+// and clean jobs leave no dump behind.
+func TestServiceObservabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var logs syncBuffer
+	tracer := obs.NewJobTracer(0)
+
+	qcfg := fastCfg(filepath.Join(dir, "queue"))
+	qcfg.Logger = obs.NewLogger(&logs, "debug", "json")
+	qcfg.Tracer = tracer
+	q, err := Open(qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The executor mirrors harness.SweepExecutor's observability contract:
+	// it logs through the context logger stamped with the context corr, and
+	// an aborted run surfaces as an *obs.FlightError carrying the frozen
+	// flight ring.
+	exec := func(ctx context.Context, spec JobSpec) ([]byte, error) {
+		corr := obs.Corr(ctx)
+		obs.LoggerFrom(ctx).Info("simulation start", "corr", corr, "mix", spec.Mix)
+		if spec.Mix == "stall" {
+			fr := obs.NewFlightRecorder(8)
+			fr.Addf(mem.Cycle(1000), "pending=42 progress=0")
+			dump := fr.Dump("watchdog-stall", "req queued=42")
+			dump.Corr = corr
+			dump.Error = "watchdog: no forward progress"
+			return nil, &obs.FlightError{Dump: dump, Err: fmt.Errorf("watchdog: no forward progress")}
+		}
+		obs.LoggerFrom(ctx).Info("simulation done", "corr", corr)
+		return []byte("result-of-" + spec.String()), nil
+	}
+
+	flightDir := filepath.Join(dir, "flight")
+	svc := openSvcOn(t, q, dir, exec, ServiceConfig{
+		Workers: 2, Poll: time.Millisecond, Reap: 5 * time.Millisecond,
+		Chaos:     faultinject.NewServiceChaos(faultinject.ServicePlan{FailExecEvery: 4}),
+		FlightDir: flightDir,
+	})
+	sweep, err := q.Submit(SweepSpec{Mixes: []string{"ok-a", "ok-b", "stall"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitIdle(t, svc)
+	closeSvc(t, svc)
+
+	// 1. The Chrome trace opens as one JSON document with the lifecycle
+	// spans and the retry and dead-letter edges of the doomed job.
+	var traceBuf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, traceBuf.String())
+	}
+	seen := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name]++
+	}
+	for _, want := range []string{"submit", "queue-wait", "lease", "execute", "ack", "retry", "dead"} {
+		if seen[want] == 0 {
+			t.Errorf("trace has no %q event (events: %v)", want, seen)
+		}
+	}
+
+	// 2. The latency histograms counted real observations.
+	var prom strings.Builder
+	if err := telemetry.Default.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"jobqueue_queue_wait_seconds", "jobqueue_lease_seconds",
+		"jobqueue_execute_seconds", "jobqueue_wal_append_seconds",
+		"store_put_seconds",
+	} {
+		re := regexp.MustCompile(name + `_count (\d+)`)
+		m := re.FindStringSubmatch(prom.String())
+		if m == nil {
+			t.Errorf("/metrics missing %s_count", name)
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Errorf("%s_count is zero", name)
+		}
+	}
+
+	// 3. One correlation ID threads through the log records of a clean job
+	// from enqueue through lease and execution to ack.
+	logStr := logs.String()
+	corr := "s1-j1" // first job of the first sweep, submission order
+	stamped := 0
+	for _, marker := range []string{"job enqueued", "job leased", "simulation start", "simulation done", "job done"} {
+		found := false
+		for _, line := range strings.Split(logStr, "\n") {
+			if strings.Contains(line, marker) && strings.Contains(line, `"corr":"`+corr+`"`) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %q record stamped with corr %s", marker, corr)
+			continue
+		}
+		stamped++
+	}
+	if stamped < 5 {
+		t.Logf("logs:\n%s", logStr)
+	}
+
+	// 4. The stalled job's flight dump is persisted under FlightDir, carries
+	// its correlation ID, and is retrievable through the service.
+	stallID := sweep.JobIDs[2]
+	data, ok := svc.FlightDump(stallID)
+	if !ok {
+		t.Fatalf("no flight dump for stalled job %d", stallID)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	wantCorr := fmt.Sprintf("s%d-j%d", sweep.ID, stallID)
+	if dump.Corr != wantCorr || dump.Reason != "watchdog-stall" || len(dump.Entries) == 0 {
+		t.Errorf("dump = corr %q reason %q entries %d, want corr %q reason watchdog-stall entries > 0",
+			dump.Corr, dump.Reason, len(dump.Entries), wantCorr)
+	}
+
+	// 5. Clean runs leave no dump behind.
+	if _, ok := svc.FlightDump(sweep.JobIDs[0]); ok {
+		t.Error("clean job has a flight dump")
+	}
+	ents, err := os.ReadDir(flightDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("flight dir has %d dumps, want exactly 1 (the stalled job)", len(ents))
+	}
+}
+
+// openSvcOn is openSvc over an already-open queue (whose config carries the
+// observability hooks under test).
+func openSvcOn(t *testing.T, q *Queue, dir string, exec Executor, scfg ServiceConfig) *Service {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(q, st, exec, scfg)
+}

@@ -2,11 +2,13 @@ package jobqueue
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"dap/internal/obs"
 	"dap/internal/telemetry"
 )
 
@@ -18,6 +20,36 @@ var (
 	mRetried   = telemetry.Default.Counter("jobqueue_jobs_retried_total", "Job failures re-queued with backoff.")
 	mDead      = telemetry.Default.Counter("jobqueue_jobs_dead_total", "Jobs dead-lettered after exhausting attempts.")
 	mExpired   = telemetry.Default.Counter("jobqueue_leases_expired_total", "Leases reaped after missing their deadline.")
+)
+
+// Latency histograms over the job lifecycle and the durability machinery.
+// Observations happen only at live mutation sites, never inside apply(), so
+// WAL replay on restart does not re-observe history.
+var (
+	hQueueWait = telemetry.Default.Histogram("jobqueue_queue_wait_seconds",
+		"Time a job spent dispatchable (enqueued or past its backoff gate) before a worker leased it.",
+		telemetry.DurationBuckets())
+	hLease = telemetry.Default.Histogram("jobqueue_lease_seconds",
+		"Lease duration from grant to done/retry/dead.", telemetry.DurationBuckets())
+	hWALAppend = telemetry.Default.Histogram("jobqueue_wal_append_seconds",
+		"WAL record append+fsync latency.", telemetry.DurationBuckets())
+	hCheckpoint = telemetry.Default.Histogram("jobqueue_checkpoint_seconds",
+		"Full-state checkpoint write duration.", telemetry.DurationBuckets())
+)
+
+// Live queue-shape gauges, recomputed after every journaled mutation (and
+// on the service's reaper tick, which keeps the lease age advancing while
+// nothing mutates). With several queues in one process the last writer
+// wins — in the served binary there is exactly one.
+var (
+	gDepth = telemetry.Default.Gauge("jobqueue_depth",
+		"Jobs currently queued (dispatchable or backoff-gated).")
+	gLeased = telemetry.Default.Gauge("jobqueue_leased",
+		"Jobs currently leased to workers.")
+	gDeadLetters = telemetry.Default.Gauge("jobqueue_deadletters",
+		"Jobs currently in the dead-letter list.")
+	gOldestLease = telemetry.Default.Gauge("jobqueue_oldest_lease_age_seconds",
+		"Age of the oldest live lease (0 when none).")
 )
 
 // Config parameterizes a Queue. The zero value of every field selects a
@@ -51,6 +83,15 @@ type Config struct {
 	// Validate, when non-nil, rejects malformed specs at submission so they
 	// never enter the queue (unknown mixes, bad arch names, ...).
 	Validate func(JobSpec) error
+
+	// Logger receives a correlation-ID-stamped record at every job state
+	// transition (submit, lease, done, retry, dead, requeue, reap, cancel).
+	// nil logs nothing, keeping library users and tests quiet by default.
+	Logger *slog.Logger
+	// Tracer records the same transitions as Chrome trace events — spans
+	// for queue wait and lease, instants for the edges — one Perfetto track
+	// per job. nil disables tracing.
+	Tracer *obs.JobTracer
 }
 
 func (c *Config) fill() {
@@ -122,8 +163,12 @@ func Open(cfg Config) (*Queue, error) {
 	if q.wal, err = openWAL(walPath(cfg.Dir)); err != nil {
 		return nil, err
 	}
+	q.updateGaugesLocked() // no lock needed yet: q unpublished
 	return q, nil
 }
+
+// log returns the configured logger, or a silent one.
+func (q *Queue) log() *slog.Logger { return obs.OrNop(q.cfg.Logger) }
 
 func (q *Queue) loadCheckpoint(ck checkpointState) {
 	q.nextJob, q.nextSweep, q.seq = ck.NextJob, ck.NextSweep, ck.Seq
@@ -154,10 +199,11 @@ func (q *Queue) apply(rec walRecord) {
 		if rec.Sweep == nil {
 			return
 		}
+		now := q.cfg.Clock()
 		s := &Sweep{ID: rec.Sweep.ID, Spec: rec.Sweep.Spec, Submitted: fromUnixNano(rec.Sweep.Submitted)}
 		for _, jr := range rec.Sweep.Jobs {
 			s.JobIDs = append(s.JobIDs, jr.ID)
-			q.jobs[jr.ID] = &Job{ID: jr.ID, SweepID: s.ID, Spec: jr.Spec, Key: jr.Key}
+			q.jobs[jr.ID] = &Job{ID: jr.ID, SweepID: s.ID, Spec: jr.Spec, Key: jr.Key, enqueuedAt: now}
 			q.order = append(q.order, jr.ID)
 			if jr.ID > q.nextJob {
 				q.nextJob = jr.ID
@@ -170,10 +216,12 @@ func (q *Queue) apply(rec walRecord) {
 	case "lease":
 		if j := q.jobs[rec.Job]; j != nil {
 			j.State, j.Worker, j.LeaseExpiry = JobLeased, rec.Worker, fromUnixNano(rec.Expiry)
+			j.leasedAt = q.cfg.Clock()
 		}
 	case "done":
 		if j := q.jobs[rec.Job]; j != nil {
 			j.State, j.Worker, j.LastErr = JobDone, "", ""
+			j.leasedAt = time.Time{}
 		}
 	case "fail":
 		if j := q.jobs[rec.Job]; j != nil {
@@ -181,16 +229,19 @@ func (q *Queue) apply(rec walRecord) {
 			j.Attempts++
 			j.LastErr = rec.Err
 			j.NotBefore = fromUnixNano(rec.NotBefore)
+			j.enqueuedAt, j.leasedAt = q.cfg.Clock(), time.Time{}
 		}
 	case "dead":
 		if j := q.jobs[rec.Job]; j != nil {
 			j.State, j.Worker = JobDead, ""
 			j.Attempts++
 			j.LastErr = rec.Err
+			j.leasedAt = time.Time{}
 		}
 	case "requeue":
 		if j := q.jobs[rec.Job]; j != nil {
 			j.State, j.Worker, j.NotBefore = JobQueued, "", time.Time{}
+			j.enqueuedAt, j.leasedAt = q.cfg.Clock(), time.Time{}
 		}
 	case "cancel":
 		if s := q.sweeps[rec.Job]; s != nil {
@@ -212,16 +263,55 @@ func (q *Queue) journal(rec walRecord) error {
 	}
 	q.seq++
 	rec.Seq = q.seq
+	t0 := time.Now()
 	if err := q.wal.append(rec); err != nil {
 		q.seq--
 		return err
 	}
+	hWALAppend.ObserveSince(t0)
 	q.apply(rec)
+	q.updateGaugesLocked()
 	q.sinceCkpt++
 	if q.sinceCkpt >= q.cfg.CheckpointEvery {
 		return q.checkpointLocked()
 	}
 	return nil
+}
+
+// updateGaugesLocked recomputes the queue-shape gauges. O(jobs), which is
+// noise next to the fsync every mutation already pays.
+func (q *Queue) updateGaugesLocked() {
+	var depth, leased, dead float64
+	var oldest time.Time
+	for _, j := range q.jobs {
+		switch j.State {
+		case JobQueued:
+			depth++
+		case JobLeased:
+			leased++
+			if !j.leasedAt.IsZero() && (oldest.IsZero() || j.leasedAt.Before(oldest)) {
+				oldest = j.leasedAt
+			}
+		case JobDead:
+			dead++
+		}
+	}
+	gDepth.Set(depth)
+	gLeased.Set(leased)
+	gDeadLetters.Set(dead)
+	age := 0.0
+	if !oldest.IsZero() {
+		age = q.cfg.Clock().Sub(oldest).Seconds()
+	}
+	gOldestLease.Set(age)
+}
+
+// RefreshGauges re-publishes the queue-shape gauges; the service's reaper
+// tick calls it so the oldest-lease age keeps advancing between mutations.
+func (q *Queue) RefreshGauges() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.updateGaugesLocked()
 }
 
 // Submit expands a sweep spec into jobs, validates each (when the queue has
@@ -254,6 +344,15 @@ func (q *Queue) Submit(spec SweepSpec) (*Sweep, error) {
 	}
 	mSubmitted.Add(float64(len(specs)))
 	s := q.sweeps[rec.Sweep.ID]
+	q.log().Info("sweep submitted", "sweep", s.ID, "jobs", len(s.JobIDs))
+	for _, id := range s.JobIDs {
+		j := q.jobs[id]
+		corr := j.Corr()
+		q.cfg.Tracer.Track(uint64(id), fmt.Sprintf("%s %s/%s/%s", corr, j.Spec.Mix, j.Spec.Arch, j.Spec.Policy))
+		q.cfg.Tracer.Instant(uint64(id), "submit", "corr", corr, "key", j.Key)
+		q.log().Debug("job enqueued", "corr", corr, "key", j.Key,
+			"mix", j.Spec.Mix, "arch", j.Spec.Arch, "policy", j.Spec.Policy, "seed", j.Spec.Seed)
+	}
 	cp := *s
 	return &cp, nil
 }
@@ -271,9 +370,22 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 			continue
 		}
 		rec := walRecord{Op: "lease", Job: j.ID, Worker: worker, Expiry: unixNano(now.Add(q.cfg.LeaseTTL))}
+		// The queue wait started when the job became dispatchable: enqueue
+		// (or re-enqueue) time, or the backoff gate if that was later.
+		waitStart := j.enqueuedAt
+		if j.NotBefore.After(waitStart) {
+			waitStart = j.NotBefore
+		}
 		if err := q.journal(rec); err != nil {
 			return Job{}, false
 		}
+		corr := j.Corr()
+		if !waitStart.IsZero() {
+			hQueueWait.Observe(now.Sub(waitStart).Seconds())
+			q.cfg.Tracer.Span(uint64(j.ID), "queue-wait", waitStart, now, "corr", corr)
+		}
+		q.cfg.Tracer.Instant(uint64(j.ID), "lease", "corr", corr, "worker", worker)
+		q.log().Debug("job leased", "corr", corr, "worker", worker, "attempt", j.Attempts+1)
 		return *j, true
 	}
 	return Job{}, false
@@ -301,10 +413,19 @@ func (q *Queue) Ack(jobID int64) error {
 	if j == nil || j.State != JobLeased {
 		return fmt.Errorf("jobqueue: ack on job %d in state %v", jobID, stateOf(j))
 	}
+	leasedAt := j.leasedAt // apply("done") clears the mark
 	if err := q.journal(walRecord{Op: "done", Job: jobID}); err != nil {
 		return err
 	}
 	mDone.Inc()
+	corr := j.Corr()
+	if !leasedAt.IsZero() {
+		now := q.cfg.Clock()
+		hLease.Observe(now.Sub(leasedAt).Seconds())
+		q.cfg.Tracer.Span(uint64(jobID), "lease", leasedAt, now, "corr", corr)
+	}
+	q.cfg.Tracer.Instant(uint64(jobID), "ack", "corr", corr)
+	q.log().Info("job done", "corr", corr, "key", j.Key)
 	return nil
 }
 
@@ -322,18 +443,32 @@ func (q *Queue) Nack(jobID int64, cause string) error {
 
 func (q *Queue) failLocked(j *Job, cause string) error {
 	attempt := j.Attempts + 1
+	corr := j.Corr()
+	leasedAt := j.leasedAt
+	if !leasedAt.IsZero() {
+		now := q.cfg.Clock()
+		hLease.Observe(now.Sub(leasedAt).Seconds())
+		q.cfg.Tracer.Span(uint64(j.ID), "lease", leasedAt, now, "corr", corr)
+	}
 	if attempt >= q.cfg.MaxAttempts {
 		if err := q.journal(walRecord{Op: "dead", Job: j.ID, Err: cause}); err != nil {
 			return err
 		}
 		mDead.Inc()
+		q.cfg.Tracer.Instant(uint64(j.ID), "dead", "corr", corr, "attempts", fmt.Sprint(attempt), "err", cause)
+		q.log().Error("job dead-lettered", "corr", corr, "attempts", attempt, "err", cause)
 		return nil
 	}
-	nb := q.cfg.Clock().Add(backoffDelay(q.cfg.BackoffBase, q.cfg.BackoffMax, attempt, j.ID))
+	backoff := backoffDelay(q.cfg.BackoffBase, q.cfg.BackoffMax, attempt, j.ID)
+	nb := q.cfg.Clock().Add(backoff)
 	if err := q.journal(walRecord{Op: "fail", Job: j.ID, Err: cause, NotBefore: unixNano(nb)}); err != nil {
 		return err
 	}
 	mRetried.Inc()
+	q.cfg.Tracer.Instant(uint64(j.ID), "retry", "corr", corr,
+		"attempt", fmt.Sprint(attempt), "backoff", backoff.String(), "err", cause)
+	q.log().Warn("job retry scheduled", "corr", corr, "attempt", attempt,
+		"backoff", backoff.String(), "err", cause)
 	return nil
 }
 
@@ -347,7 +482,13 @@ func (q *Queue) Requeue(jobID int64) error {
 	if j == nil || j.State != JobLeased {
 		return fmt.Errorf("jobqueue: requeue on job %d in state %v", jobID, stateOf(j))
 	}
-	return q.journal(walRecord{Op: "requeue", Job: jobID})
+	if err := q.journal(walRecord{Op: "requeue", Job: jobID}); err != nil {
+		return err
+	}
+	corr := j.Corr()
+	q.cfg.Tracer.Instant(uint64(jobID), "requeue", "corr", corr)
+	q.log().Info("job requeued", "corr", corr)
+	return nil
 }
 
 // Reap re-queues every leased job whose deadline has passed (worker death
@@ -364,11 +505,14 @@ func (q *Queue) Reap() int {
 		if j.State != JobLeased || j.LeaseExpiry.After(now) {
 			continue
 		}
-		cause := fmt.Sprintf("lease expired (worker %q missed its deadline)", j.Worker)
+		corr, worker := j.Corr(), j.Worker
+		cause := fmt.Sprintf("lease expired (worker %q missed its deadline)", worker)
 		if err := q.failLocked(j, cause); err != nil {
 			break
 		}
 		mExpired.Inc()
+		q.cfg.Tracer.Instant(uint64(id), "lease-expired", "corr", corr, "worker", worker)
+		q.log().Warn("lease expired", "corr", corr, "worker", worker)
 		n++
 	}
 	return n
@@ -382,7 +526,11 @@ func (q *Queue) Cancel(sweepID int64) error {
 	if q.sweeps[sweepID] == nil {
 		return fmt.Errorf("jobqueue: no such sweep %d", sweepID)
 	}
-	return q.journal(walRecord{Op: "cancel", Job: sweepID})
+	if err := q.journal(walRecord{Op: "cancel", Job: sweepID}); err != nil {
+		return err
+	}
+	q.log().Info("sweep cancelled", "sweep", sweepID)
+	return nil
 }
 
 // Leased returns copies of every currently leased job (recovery reconciles
@@ -520,6 +668,8 @@ func (q *Queue) Checkpoint() error {
 }
 
 func (q *Queue) checkpointLocked() error {
+	t0 := time.Now()
+	defer hCheckpoint.ObserveSince(t0)
 	st := checkpointState{Seq: q.seq, NextJob: q.nextJob, NextSweep: q.nextSweep}
 	ids := make([]int64, 0, len(q.sweeps))
 	for id := range q.sweeps {

@@ -2,14 +2,25 @@ package jobqueue
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"dap/internal/faultinject"
+	"dap/internal/obs"
 	"dap/internal/runner"
 	"dap/internal/store"
+	"dap/internal/telemetry"
 )
+
+// Execution latency, observed by the worker pool per attempt.
+var hExecute = telemetry.Default.Histogram("jobqueue_execute_seconds",
+	"Wall-clock executor (simulation) duration per attempt.", telemetry.DurationBuckets())
 
 // Executor runs one job and returns its result payload (the bytes the store
 // persists under the job's key). It must be deterministic in the spec: the
@@ -33,6 +44,10 @@ type ServiceConfig struct {
 	// Chaos, when non-nil, injects process-level faults (executor failures
 	// and crash points) for the chaos harness.
 	Chaos *faultinject.ServiceChaos
+	// FlightDir, when set, persists the flight-recorder dump of each aborted
+	// run as <FlightDir>/job-<id>.json so a stalled simulation's black box
+	// survives the process and is servable over HTTP.
+	FlightDir string
 }
 
 // Service binds a Queue, a result Store and an Executor into the running
@@ -156,6 +171,9 @@ func (s *Service) workerLoop(name string) {
 
 // runJob executes one leased job through the completion protocol.
 func (s *Service) runJob(job Job) {
+	corr := job.Corr()
+	tracer := s.q.cfg.Tracer
+	log := s.q.log().With("corr", corr)
 	// A result from an earlier identical job (same key) short-circuits
 	// execution entirely — this is both the dedup path and the post-crash
 	// "already simulated" path.
@@ -163,6 +181,8 @@ func (s *Service) runJob(job Job) {
 		s.hitMu.Lock()
 		s.CacheHits++
 		s.hitMu.Unlock()
+		tracer.Instant(uint64(job.ID), "cache-hit", "corr", corr, "key", job.Key)
+		log.Info("job served from store", "key", job.Key)
 		s.q.Ack(job.ID) //nolint:errcheck // lease may have been reaped; reaper wins
 		return
 	}
@@ -190,22 +210,71 @@ func (s *Service) runJob(job Job) {
 		}
 	}()
 
-	payload, err := s.exec(s.ctx, job.Spec)
+	// The executor sees the job's correlation ID and the service logger via
+	// the context, so "simulation start/done" records line up with the
+	// queue's lifecycle records under one corr value.
+	ctx := obs.WithLogger(obs.WithCorr(s.ctx, corr), s.q.cfg.Logger)
+	t0 := time.Now()
+	payload, err := s.exec(ctx, job.Spec)
+	execEnd := time.Now()
+	hExecute.ObserveSince(t0)
+	tracer.Span(uint64(job.ID), "execute", t0, execEnd, "corr", corr)
 	close(hbDone)
 	hbWG.Wait()
 
 	if err != nil {
+		s.saveFlight(job, err, log)
 		s.q.Nack(job.ID, err.Error()) //nolint:errcheck // lease may have been reaped
 		return
 	}
 
 	s.cfg.Chaos.BeforePut()
+	p0 := time.Now()
 	if err := s.st.Put(job.Key, payload); err != nil {
 		s.q.Nack(job.ID, fmt.Sprintf("store put: %v", err)) //nolint:errcheck
 		return
 	}
+	tracer.Span(uint64(job.ID), "store-put", p0, time.Now(), "corr", corr, "key", job.Key)
 	s.cfg.Chaos.AfterPut()
 	s.q.Ack(job.ID) //nolint:errcheck // reaped lease: another worker re-runs; identical payload makes it idempotent
+}
+
+// saveFlight persists the flight-recorder dump carried by an aborted run
+// (see obs.FlightError) under FlightDir as job-<id>.json, overwriting any
+// earlier attempt's dump so the file always holds the latest postmortem.
+func (s *Service) saveFlight(job Job, err error, log *slog.Logger) {
+	var fe *obs.FlightError
+	if !errors.As(err, &fe) || s.cfg.FlightDir == "" {
+		return
+	}
+	if mkErr := os.MkdirAll(s.cfg.FlightDir, 0o755); mkErr != nil {
+		log.Error("flight dump not saved", "err", mkErr.Error())
+		return
+	}
+	data, mErr := json.MarshalIndent(fe.Dump, "", "  ")
+	if mErr != nil {
+		log.Error("flight dump not encoded", "err", mErr.Error())
+		return
+	}
+	path := filepath.Join(s.cfg.FlightDir, fmt.Sprintf("job-%d.json", job.ID))
+	if wErr := os.WriteFile(path, data, 0o644); wErr != nil {
+		log.Error("flight dump not saved", "err", wErr.Error())
+		return
+	}
+	log.Warn("flight dump saved", "path", path, "reason", fe.Dump.Reason,
+		"entries", len(fe.Dump.Entries))
+}
+
+// FlightDump returns the persisted flight dump of a job, if one exists.
+func (s *Service) FlightDump(jobID int64) ([]byte, bool) {
+	if s.cfg.FlightDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.FlightDir, fmt.Sprintf("job-%d.json", jobID)))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 func (s *Service) reaperLoop() {
@@ -217,6 +286,9 @@ func (s *Service) reaperLoop() {
 			return
 		case <-t.C:
 			s.q.Reap()
+			// Re-publish gauges so the oldest-lease age keeps advancing even
+			// while nothing mutates the queue.
+			s.q.RefreshGauges()
 		}
 	}
 }

@@ -1,8 +1,6 @@
 package obs
 
 import (
-	"bufio"
-	"fmt"
 	"io"
 	"strconv"
 
@@ -216,16 +214,8 @@ func traceUS(c mem.Cycle) string {
 // core's track plus child events for the metadata-probe, device-queue and
 // data-service phases; a metadata event names each track.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
-	first := true
-	emit := func(format string, args ...any) {
-		if !first {
-			bw.WriteByte(',')
-		}
-		first = false
-		fmt.Fprintf(bw, format, args...)
-	}
+	cw := NewChromeTraceWriter(w)
+	emit := cw.Emit
 
 	if t != nil {
 		seen := map[int]bool{}
@@ -260,6 +250,5 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 	}
-	bw.WriteString("]}\n")
-	return bw.Flush()
+	return cw.Close()
 }

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"dap/internal/mem"
+)
+
+// TestFlightSamplerFires verifies the periodic sampler fires every N
+// executed events with the current cycle, and that disarming stops it.
+func TestFlightSamplerFires(t *testing.T) {
+	e := New()
+	var samples []mem.Cycle
+	e.SetFlightSampler(3, func(c mem.Cycle) { samples = append(samples, c) })
+
+	// Self-rescheduling tick: 10 events at cycles 1..10.
+	var n int
+	var tick func(mem.Cycle)
+	tick = func(c mem.Cycle) {
+		n++
+		if n < 10 {
+			e.AtCall(e.Now()+1, tick)
+		}
+	}
+	e.AtCall(e.Now()+1, tick)
+	e.Drain()
+
+	if len(samples) != 3 { // events 3, 6, 9
+		t.Fatalf("got %d samples (%v), want 3", len(samples), samples)
+	}
+	for i, want := range []mem.Cycle{3, 6, 9} {
+		if samples[i] != want {
+			t.Fatalf("sample %d at cycle %d, want %d (all %v)", i, samples[i], want, samples)
+		}
+	}
+
+	// Disarm: no further samples.
+	e.SetFlightSampler(0, nil)
+	n = 0
+	e.AtCall(e.Now()+1, tick)
+	e.Drain()
+	if len(samples) != 3 {
+		t.Fatalf("sampler fired after disarm: %v", samples)
+	}
+}
+
+// TestFlightSamplerCoexistsWithWatchdog checks both piggyback observers can
+// be armed at once and the watchdog still trips.
+func TestFlightSamplerCoexistsWithWatchdog(t *testing.T) {
+	e := New()
+	var fired int
+	e.SetFlightSampler(4, func(mem.Cycle) { fired++ })
+	e.SetWatchdog(16, func() uint64 { return 42 }, nil) // constant progress: stalls
+
+	var spin func(mem.Cycle)
+	spin = func(c mem.Cycle) { e.AtCall(c, spin) } // zero-time self-loop, no progress
+	e.AtCall(0, spin)
+	for i := 0; i < 1000 && e.Step(); i++ {
+	}
+	if e.Err() == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	if fired == 0 {
+		t.Fatal("flight sampler never fired alongside watchdog")
+	}
+}

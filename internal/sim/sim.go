@@ -168,7 +168,17 @@ type Engine struct {
 	overflow eventHeap          // events >= wheelSize cycles ahead
 
 	wd  *watchdog
+	fs  *flightSampler
 	err error
+}
+
+// flightSampler periodically invokes a state-capture callback — the flight
+// recorder's feed. Like the watchdog it piggybacks on Step with a single
+// counter increment per event when armed, and zero branches beyond the nil
+// check when off.
+type flightSampler struct {
+	every, count int
+	fn           func(mem.Cycle)
 }
 
 // New returns an empty engine at cycle zero.
@@ -355,6 +365,20 @@ func (e *Engine) SetWatchdog(staleEvents int, progress func() uint64, snapshot f
 	}
 }
 
+// SetFlightSampler arms periodic state sampling: fn is invoked with the
+// current cycle every `every` executed events — the feed for a flight
+// recorder capturing "what was the system doing lately". fn must be a
+// strict read-only observer (it runs between events on the engine
+// goroutine); every <= 0 or a nil fn disarms. The per-event cost when
+// armed is one counter increment, matching the watchdog.
+func (e *Engine) SetFlightSampler(every int, fn func(mem.Cycle)) {
+	if every <= 0 || fn == nil {
+		e.fs = nil
+		return
+	}
+	e.fs = &flightSampler{every: every, fn: fn}
+}
+
 // Fail stops the engine with err: no further events execute, and Err
 // reports the failure. The first failure wins; later ones are dropped.
 func (e *Engine) Fail(err error) {
@@ -385,6 +409,13 @@ func (e *Engine) Step() bool {
 		ev.fnc(ev.when)
 	default:
 		ev.fna(ev.ctx, ev.v, ev.when)
+	}
+	if f := e.fs; f != nil {
+		f.count++
+		if f.count >= f.every {
+			f.count = 0
+			f.fn(e.now)
+		}
 	}
 	if w := e.wd; w != nil {
 		w.count++

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dap/internal/telemetry"
 )
@@ -38,6 +39,11 @@ var (
 	mCorrupt = telemetry.Default.Counter("store_corrupt_total", "Result-store entries rejected as torn or corrupt and quarantined.")
 	mPuts    = telemetry.Default.Counter("store_puts_total", "Result-store entries written.")
 )
+
+// hPut is the end-to-end Put latency: staging write + fsync + atomic rename.
+var hPut = telemetry.Default.Histogram("store_put_seconds",
+	"Result-store Put latency (staging write + fsync + atomic rename).",
+	telemetry.DurationBuckets())
 
 // Store is a directory of checksummed result files. All methods are safe
 // for concurrent use from any number of goroutines (and, because writes are
@@ -119,12 +125,14 @@ func (s *Store) Has(key string) bool {
 // fsynced and atomically renamed, so a crash mid-Put never leaves a partial
 // entry visible.
 func (s *Store) Put(key string, payload []byte) error {
+	t0 := time.Now()
 	tmp := fmt.Sprintf("%s.tmp.%d.%d", s.path(key), os.Getpid(), s.tmpSeq.Add(1))
 	if err := writeFileAtomicVia(tmp, s.path(key), key, payload); err != nil {
 		return fmt.Errorf("store: put %q: %w", key, err)
 	}
 	s.puts.Add(1)
 	mPuts.Inc()
+	hPut.ObserveSince(t0)
 	return nil
 }
 

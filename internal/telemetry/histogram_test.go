@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+
+	// le semantics: a sample exactly on a bound lands in that bucket.
+	h.Observe(0.005) // bucket le=0.01
+	h.Observe(0.01)  // bucket le=0.01 (boundary)
+	h.Observe(0.05)  // bucket le=0.1
+	h.Observe(0.5)   // bucket le=1
+	h.Observe(5)     // +Inf
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.565) > 1e-9 {
+		t.Fatalf("Sum = %v, want 5.565", got)
+	}
+	cum, _ := h.snapshot()
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+
+	// same (name, labels) returns the same histogram, bounds ignored
+	if r.Histogram("lat", "latency", []float64{42}) != h {
+		t.Fatal("histogram handle not shared")
+	}
+	// distinct labels, distinct histogram
+	if r.Histogram("lat", "latency", []float64{0.01}, Label{"op", "put"}) == h {
+		t.Fatal("labeled histogram must be distinct")
+	}
+
+	var nilH *Histogram
+	nilH.Observe(1) // nil-safe no-ops
+	nilH.ObserveSince(time.Now())
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+}
+
+func TestHistogramKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a histogram should panic")
+		}
+	}()
+	r.Histogram("x", "", DurationBuckets())
+}
+
+func TestHistogramBoundsNotAscendingPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds should panic")
+		}
+	}()
+	r.Histogram("bad", "", []float64{1, 1})
+}
+
+// TestHistogramGolden locks the histogram exposition: cumulative _bucket
+// ladder in bound order (not lexical — le="+Inf" must come last), the le
+// label appended after the base labels, and the _sum/_count pair.
+func TestHistogramGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("svc_op_seconds", "Operation latency.", []float64{0.005, 0.05, 0.5},
+		Label{"op", "put"})
+	for _, v := range []float64{0.001, 0.004, 0.02, 0.3, 2} {
+		h.Observe(v)
+	}
+	// a second series in the same family, left empty: all-zero buckets
+	r.Histogram("svc_op_seconds", "Operation latency.", []float64{0.005, 0.05, 0.5},
+		Label{"op", "get"})
+	// an unlabeled histogram alongside a counter, to pin family ordering
+	r.Histogram("wal_fsync_seconds", "WAL fsync latency.", []float64{0.001, 0.01}).Observe(0.002)
+	r.Counter("ops_total", "Operations.").Add(6)
+
+	var got bytes.Buffer
+	if err := r.WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "histogram.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil || !bytes.Equal(got.Bytes(), want) {
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s", golden)
+			return
+		}
+		t.Fatalf("exposition differs from %s (set UPDATE_GOLDEN=1 to refresh)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got.Bytes(), want)
+	}
+}
+
+// TestHistogramConcurrentObserve is the -race workhorse for histograms:
+// 8 goroutines observing (mixing pre-acquired handles and fresh lookups)
+// while the exposition is rendered in a tight loop. Afterwards the bucket
+// ladder must account for every observation exactly once.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 2, 4, 8}
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			shared := r.Histogram("hist_shared", "shared", bounds)
+			for i := 0; i < iters; i++ {
+				shared.Observe(float64(i % 10))
+				r.Histogram("hist_fresh", "fresh lookup", bounds,
+					Label{"w", fmt.Sprint(w)}).Observe(float64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	shared := r.Histogram("hist_shared", "shared", bounds)
+	if got := shared.Count(); got != workers*iters {
+		t.Fatalf("shared Count = %d, want %d", got, workers*iters)
+	}
+	cum, sum := shared.snapshot()
+	// i%10 over 2000 iters x 8 workers: 1600 of each value 0..9.
+	const each = workers * iters / 10
+	wantCum := []uint64{
+		2 * each,  // values 0,1    -> le=1
+		3 * each,  // +value 2      -> le=2
+		5 * each,  // +values 3,4   -> le=4
+		9 * each,  // +values 5..8  -> le=8
+		10 * each, // +value 9      -> +Inf
+	}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	wantSum := float64(workers) * float64(iters/10) * 45 // sum 0..9 = 45 per decade
+	if math.Abs(sum-wantSum) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", sum, wantSum)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hist_shared_bucket{le="+Inf"} 16000`,
+		"hist_shared_count 16000",
+		`hist_fresh_bucket{w="0",le="+Inf"} 2000`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestFormatLe(t *testing.T) {
+	for v, want := range map[float64]string{
+		0.005:    "0.005",
+		0.000025: "2.5e-05",
+		1:        "1",
+		120:      "120",
+	} {
+		if got := formatLe(v); got != want {
+			t.Errorf("formatLe(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -32,11 +32,15 @@ type Kind uint8
 const (
 	CounterKind Kind = iota
 	GaugeKind
+	HistogramKind
 )
 
 func (k Kind) String() string {
-	if k == CounterKind {
+	switch k {
+	case CounterKind:
 		return "counter"
+	case HistogramKind:
+		return "histogram"
 	}
 	return "gauge"
 }
@@ -87,11 +91,13 @@ func (s *Series) Value() float64 {
 	return math.Float64frombits(s.bits.Load())
 }
 
-// family is one named metric with its labeled series.
+// family is one named metric with its labeled series. Exactly one of
+// series (counter/gauge) and hists (histogram) is populated.
 type family struct {
 	name, help string
 	kind       Kind
-	series     map[string]*Series // keyed by rendered label signature
+	series     map[string]*Series    // keyed by rendered label signature
+	hists      map[string]*Histogram // histogram families only
 }
 
 // Emit is the callback a scrape-time Collector pushes dynamic series
@@ -215,27 +221,46 @@ func Sanitize(name string) string {
 	return b.String()
 }
 
+// row is one rendered exposition sample: an optional name suffix
+// ("_bucket", "_sum", "_count" for histograms), the label signature, and
+// the value.
+type row struct {
+	suffix string
+	sig    string
+	val    float64
+}
+
 // WritePrometheus renders every family — static series plus collector
 // output — in the text exposition format with stable ordering: families
 // sorted by name, each preceded by its HELP/TYPE lines, series sorted by
-// label signature.
+// label signature. Histogram families render each series as its cumulative
+// `_bucket` ladder followed by `_sum` and `_count`, bucket order preserved.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	type row struct {
-		sig string
-		val float64
-	}
 	type fam struct {
-		help string
-		kind Kind
-		rows []row
+		help   string
+		kind   Kind
+		rows   []row
+		sorted bool // histogram rows arrive pre-ordered; do not re-sort
 	}
 	out := make(map[string]*fam)
 
 	r.mu.RLock()
 	for name, f := range r.fams {
 		o := &fam{help: f.help, kind: f.kind}
-		for sig, s := range f.series {
-			o.rows = append(o.rows, row{sig, s.Value()})
+		if f.kind == HistogramKind {
+			o.sorted = true
+			sigs := make([]string, 0, len(f.hists))
+			for sig := range f.hists {
+				sigs = append(sigs, sig)
+			}
+			sort.Strings(sigs)
+			for _, sig := range sigs {
+				o.rows = append(o.rows, histRows(sig, f.hists[sig])...)
+			}
+		} else {
+			for sig, s := range f.series {
+				o.rows = append(o.rows, row{sig: sig, val: s.Value()})
+			}
 		}
 		out[name] = o
 	}
@@ -248,7 +273,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			o = &fam{help: help, kind: kind}
 			out[name] = o
 		}
-		o.rows = append(o.rows, row{labelSig(labels), v})
+		o.rows = append(o.rows, row{sig: labelSig(labels), val: v})
 	}
 	for _, c := range collectors {
 		c(emit)
@@ -267,9 +292,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(o.help, "\n", " "))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", name, o.kind)
-		sort.Slice(o.rows, func(i, j int) bool { return o.rows[i].sig < o.rows[j].sig })
+		if !o.sorted {
+			sort.Slice(o.rows, func(i, j int) bool { return o.rows[i].sig < o.rows[j].sig })
+		}
 		for _, rw := range o.rows {
-			fmt.Fprintf(bw, "%s%s %s\n", name, rw.sig, formatProm(rw.val))
+			fmt.Fprintf(bw, "%s%s%s %s\n", name, rw.suffix, rw.sig, formatProm(rw.val))
 		}
 	}
 	return bw.Flush()

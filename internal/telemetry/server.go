@@ -5,11 +5,13 @@ import (
 	_ "embed"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -52,6 +54,11 @@ func Version() string {
 type Server struct {
 	Metrics *Registry
 	Runs    *RunRegistry
+	// Logger, when non-nil, gets one structured record per request (method,
+	// path, status, duration). Scrape and stream endpoints (/metrics, SSE)
+	// log at Debug so an Info-level service isn't drowned by its own
+	// monitoring; set before Start/Handler.
+	Logger *slog.Logger
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -101,7 +108,75 @@ func (s *Server) Handler() http.Handler {
 	for _, r := range extra {
 		mux.HandleFunc(r.pattern, r.h)
 	}
-	return mux
+	return s.withRequestObs(mux)
+}
+
+// withRequestObs wraps the mux with request observability: a latency
+// histogram observation per request plus (when a Logger is set) one
+// structured record with method, path, status and duration. The wrapper
+// never buffers bodies — the status writer only captures the code and
+// passes Flush through, so /metrics scrapes and SSE streams behave exactly
+// as they do unwrapped.
+func (s *Server) withRequestObs(h http.Handler) http.Handler {
+	var hist *Histogram
+	if s.Metrics != nil {
+		hist = s.Metrics.Histogram("telemetry_http_request_seconds",
+			"HTTP request handling duration.", DurationBuckets())
+	}
+	log := s.Logger
+	if hist == nil && log == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		d := time.Since(t0)
+		if hist != nil {
+			hist.Observe(d.Seconds())
+		}
+		if log == nil {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rec := log.Info
+		if r.URL.Path == "/metrics" || strings.HasSuffix(r.URL.Path, "/stream") {
+			rec = log.Debug
+		}
+		rec("http request", "method", r.Method, "path", r.URL.Path,
+			"status", status, "duration", d.String())
+	})
+}
+
+// statusWriter captures the response status code for the request log while
+// delegating everything else — including Flush, which SSE streaming needs —
+// to the underlying writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Start binds addr (":0" picks a free port) and serves in the background,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -220,5 +221,73 @@ func getJSON(t *testing.T, url string, v any) {
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRequestLogMiddleware exercises the request-observability wrapper: a
+// structured record per request with method/path/status/duration, scrape
+// endpoints demoted to Debug, the latency histogram counting every request,
+// and Flush still reaching the underlying writer (SSE depends on it).
+func TestRequestLogMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	runs := NewRunRegistry(reg)
+	srv := NewServer(reg, runs)
+	var buf strings.Builder
+	srv.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/runs/9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := http.Get(ts.URL + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+
+	logs := buf.String()
+	if !strings.Contains(logs, `"path":"/healthz"`) || !strings.Contains(logs, `"status":200`) {
+		t.Errorf("missing healthz record:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"path":"/runs/9999"`) || !strings.Contains(logs, `"status":404`) {
+		t.Errorf("missing 404 record:\n%s", logs)
+	}
+	if strings.Contains(logs, `"path":"/metrics"`) {
+		t.Errorf("scrape endpoint logged at Info level:\n%s", logs)
+	}
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	body := out.String()
+	if !strings.Contains(body, "telemetry_http_request_seconds_count 3") {
+		t.Errorf("request histogram did not count 3 requests:\n%s", body)
+	}
+}
+
+// TestStatusWriterFlusher asserts the middleware's writer still implements
+// http.Flusher so SSE streaming works behind it.
+func TestStatusWriterFlusher(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var w http.ResponseWriter = sw
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter lost http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if _, err := io.WriteString(w, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if sw.status != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", sw.status)
 	}
 }

@@ -82,7 +82,8 @@ grep -q '"status"' "$tmp/healthz" || fail "/healthz body lacks status: $(cat "$t
 
 code=$(curl -s -o "$tmp/metrics" -w '%{http_code}' "http://$addr/metrics") || fail "curl /metrics"
 [ "$code" = 200 ] || fail "/metrics returned $code"
-for family in dap_credit_fwb runner_jobs_done sim_runs_finished_total; do
+for family in dap_credit_fwb runner_jobs_done sim_runs_finished_total \
+    telemetry_http_request_seconds_bucket; do
     grep -q "^$family" "$tmp/metrics" || fail "/metrics missing $family"
 done
 
@@ -90,6 +91,48 @@ kill -INT "$pid"
 wait "$pid"
 status=$?
 [ "$status" = 0 ] || fail "dapsim exited $status after SIGINT, want clean 0"
+pid=""
+
+# Phase 2: the sweep service exposes the job-lifecycle observability
+# surface — latency histogram families on /metrics, the Chrome trace
+# endpoint, and a clean 404 (not a routing error) for a job with no flight
+# recording.
+echo "serve-smoke: starting sweep service"
+log="$tmp/sweep.log"
+"$tmp/dapsim" -serve 127.0.0.1:0 -sweep-dir "$tmp/state" -sweep-workers 2 \
+    >"$log" 2>&1 &
+pid=$!
+
+sweep_addr() {
+    addr=$(sed -n 's|^sweep service: serving on http://\([^ ]*\).*|\1|p' "$log" | head -1)
+    [ -n "$addr" ]
+}
+addr=""
+wait_for 60 "sweep service bound address" sweep_addr
+echo "serve-smoke: sweep service on $addr"
+
+code=$(curl -s -o "$tmp/smetrics" -w '%{http_code}' "http://$addr/metrics") || fail "curl sweep /metrics"
+[ "$code" = 200 ] || fail "sweep /metrics returned $code"
+for family in jobqueue_queue_wait_seconds_bucket jobqueue_lease_seconds_bucket \
+    jobqueue_execute_seconds_bucket jobqueue_wal_append_seconds_bucket \
+    jobqueue_checkpoint_seconds_bucket store_put_seconds_bucket \
+    jobqueue_depth jobqueue_deadletters; do
+    grep -q "^$family" "$tmp/smetrics" || fail "sweep /metrics missing $family"
+done
+
+code=$(curl -s -o "$tmp/flight" -w '%{http_code}' "http://$addr/jobs/12345/flight") || fail "curl /jobs/12345/flight"
+[ "$code" = 404 ] || fail "/jobs/12345/flight returned $code, want 404"
+grep -q "no flight recording for job 12345" "$tmp/flight" \
+    || fail "/jobs/12345/flight body is not the flight 404: $(cat "$tmp/flight")"
+
+code=$(curl -s -o "$tmp/trace" -w '%{http_code}' "http://$addr/trace") || fail "curl /trace"
+[ "$code" = 200 ] || fail "/trace returned $code"
+grep -q '"traceEvents"' "$tmp/trace" || fail "/trace is not Chrome trace JSON: $(head -c 200 "$tmp/trace")"
+
+kill -INT "$pid"
+wait "$pid"
+status=$?
+[ "$status" = 0 ] || fail "sweep service exited $status after SIGINT, want clean 0"
 pid=""
 
 echo "serve-smoke: PASS"
