@@ -4,9 +4,9 @@
 # exercised even when the main suite is filtered.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-gate bench-cmp bench-figures runner-race obs-check obs-race pool-debug telemetry-race queue-race serve-smoke crash-smoke trace-demo profile
+.PHONY: check vet build test race bench bench-gate bench-cmp bench-figures runner-race obs-check obs-race pool-debug telemetry-race queue-race ckpt-race serve-smoke crash-smoke trace-demo profile
 
-check: vet build race runner-race obs-check obs-race pool-debug telemetry-race queue-race serve-smoke crash-smoke bench-gate
+check: vet build race runner-race obs-check obs-race pool-debug telemetry-race queue-race ckpt-race serve-smoke crash-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,16 @@ queue-race:
 	$(GO) vet ./internal/jobqueue/... ./internal/store/...
 	$(GO) test -race -count=1 ./internal/jobqueue/... ./internal/store/...
 
+# ckpt-race drives the warmup-checkpoint cache under the race detector:
+# eight concurrent policy/DRAM variants of one figure point restore from a
+# single-flight snapshot (asserting it was built exactly once and every
+# variant stays bit-identical), the nws figure driver does the same through
+# its worker pool, and the store-backed path recovers from flipped-byte and
+# torn-tail corruption.
+ckpt-race:
+	$(GO) test -race -count=1 -timeout 20m ./internal/harness/ \
+		-run 'TestCheckpointSharedParallelVariants|TestCheckpointFigureDriverSingleFlight|TestCheckpointStoreReuseAndCorruption'
+
 # serve-smoke boots `dapsim -serve` on a random port (race detector on),
 # curls /healthz and /metrics, asserts the DAP credit and runner pool
 # families are exposed, and checks clean shutdown on SIGINT.
@@ -93,21 +103,21 @@ pool-debug:
 # writes the machine-readable report consumed by DESIGN.md's performance
 # section. bench-figures is the full figure-regeneration benchmark suite.
 bench:
-	$(GO) test -bench='EngineEvent|CacheLookup|DRAMStream|WorkloadGen|EndToEndQuickRun|Replicate6' \
-		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR7.json \
-		-note "service-grade observability: lifecycle tracing, latency histograms, structured logs, flight recorder"
+	$(GO) test -bench='EngineEvent|CacheLookup|DRAMStream|WorkloadGen|EndToEndQuickRun|EndToEndCheckpointResume|Replicate6' \
+		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json \
+		-note "warmup checkpoint/fast-forward + SMARTS interval sampling"
 
-# bench-gate enforces that observability stays off the hot path: the
-# recorded BENCH_PR7.json must not regress against the PR5 baseline by more
-# than benchcmp's 10% tolerance in ns/op or allocs/op. The gate matches the
-# end-to-end benchmarks only: the sub-microsecond substrate benches were
-# recorded in a different session and track machine state (frequency
-# scaling, co-tenant load) more than code, so cross-session comparison of
-# them gates on noise. Re-record the HEAD report with `make bench` after
-# intentional changes.
+# bench-gate enforces that the checkpoint/sampling machinery stays off the
+# full-run hot path: the recorded BENCH_PR8.json must not regress against
+# the PR7 baseline by more than benchcmp's 10% tolerance in ns/op or
+# allocs/op. The gate matches the end-to-end benchmarks only: the
+# sub-microsecond substrate benches were recorded in a different session
+# and track machine state (frequency scaling, co-tenant load) more than
+# code, so cross-session comparison of them gates on noise. Re-record the
+# HEAD report with `make bench` after intentional changes.
 bench-gate:
 	$(GO) run ./cmd/benchcmp -match 'EndToEndQuickRun|Replicate' \
-		BENCH_PR5.json BENCH_PR7.json
+		BENCH_PR7.json BENCH_PR8.json
 
 bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .

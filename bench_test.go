@@ -260,6 +260,33 @@ func BenchmarkEndToEndQuickRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndCheckpointResume measures the warmup-checkpoint fast
+// path end to end: serializing a warmed system, restoring the blob into a
+// freshly built one, and running a short timed region from it. Compare
+// against BenchmarkEndToEndQuickRun, whose cost is dominated by re-running
+// the functional warmup this path skips.
+func BenchmarkEndToEndCheckpointResume(b *testing.B) {
+	cfg := harness.Quick()
+	cfg.Policy = harness.DAP
+	cfg.MeasureInstr = 100_000
+	spec, _ := workload.ByName("libquantum")
+	mix := workload.RateMix(spec, cfg.CPU.Cores)
+	warm := harness.Build(cfg, mix)
+	warm.Warmup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := warm.SaveCheckpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := harness.Build(cfg, mix)
+		if err := s.LoadCheckpoint(blob); err != nil {
+			b.Fatal(err)
+		}
+		s.Measure()
+	}
+}
+
 // benchReplicate measures the runner's wall-clock scaling: six seeded quick
 // replicas fanned across j workers. The ratio Serial/J8 is the delivered
 // parallel speedup; it tracks the host's available CPUs (bit-identical

@@ -39,7 +39,7 @@ func main() {
 		policy  = flag.String("policy", "baseline", "policy: baseline | dap | dap-fwb-wb | sbd | sbd-wt | batman")
 		cores   = flag.Int("cores", 8, "core count")
 		instr   = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
-		warm    = flag.Int("warm", 0, "functional warmup accesses per core (0 = default)")
+		warm    = flag.Int("warm", 0, "functional warmup accesses per core (0 = config default: 400000, or 180000 with -quick)")
 		quick   = flag.Bool("quick", false, "use the shortened quick configuration")
 		capMB   = flag.Int("capacity", 0, "memory-side cache capacity in MiB (0 = default)")
 		bwPoint = flag.Float64("cachebw", 0, "cache bandwidth in GB/s: 102.4 | 128 | 204.8 (0 = default)")
@@ -47,6 +47,8 @@ func main() {
 		audit   = flag.Bool("audit", false, "enable the runtime invariant auditor (aborts on the first violation)")
 		wdog    = flag.Int("watchdog", 0, "forward-progress watchdog deadline in events (0 = default, -1 = off)")
 		seed    = flag.Uint64("seed", 0, "workload address-stream seed (0 = default streams)")
+		ckptDir = flag.String("ckpt-dir", "", "reuse warmup checkpoints under this directory: the post-warmup state is snapshotted once per (workload, arch, warmup, seed) and later runs — any policy — resume from it bit-identically")
+		sampled = flag.Bool("sampled", false, "SMARTS-style interval sampling: alternate functional fast-forward with short measured intervals and report means with 95% confidence intervals (falls back to the full run if they do not converge)")
 		replic  = flag.Int("replicate", 0, "run N replicas over seeds 0..N-1 and report mean/std aggregate IPC")
 		jobs    = flag.Int("j", 0, "max concurrent replica simulations (0 = GOMAXPROCS, 1 = serial)")
 
@@ -135,6 +137,14 @@ func main() {
 	cfg.Trace = *tracePath != ""
 	cfg.TraceSample = *traceSample
 	cfg.MetricsEvery = mem.Cycle(*metricsEvery)
+	cfg.Sampled = *sampled
+
+	var ckpts *dap.WarmupCheckpoints
+	if *ckptDir != "" {
+		var err error
+		ckpts, err = dap.NewWarmupCheckpoints(*ckptDir)
+		fatalIf(err)
+	}
 
 	var mix dap.Workload
 	if *mixName != "" {
@@ -187,9 +197,9 @@ func main() {
 
 	// One-line effective configuration so a pasted log is self-describing.
 	header := fmt.Sprintf(
-		"dapsim %s: arch=%s policy=%s cores=%d instr=%d warm=%d seed=%d dap-window=%d trace=%v metrics-every=%d",
+		"dapsim %s: arch=%s policy=%s cores=%d instr=%d warm=%d seed=%d dap-window=%d trace=%v metrics-every=%d sampled=%v",
 		mix.Name, *arch, *policy, *cores, cfg.MeasureInstr, cfg.WarmAccesses,
-		*seed, dap.EffectiveDAPWindow(cfg), cfg.Trace, cfg.MetricsEvery)
+		*seed, dap.EffectiveDAPWindow(cfg), cfg.Trace, cfg.MetricsEvery, cfg.Sampled)
 	if !*asJSON {
 		fmt.Println(header)
 	}
@@ -202,7 +212,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	r, err := dap.RunSeededE(cfg, mix, *seed)
+	r, err := dap.RunCheckpointedE(cfg, mix, *seed, ckpts)
 	if err != nil {
 		// A validation error prints one line per problem; an aborted run
 		// prints the stall/audit diagnostic with its state snapshot.
@@ -217,6 +227,11 @@ func main() {
 		fatalIf(f.Close())
 	}
 	writeArtifacts(r, *tracePath, *metricsOut, *asJSON, exportStamp(cfg, mix.Name, *seed))
+	if ckpts != nil && !*asJSON {
+		cs := ckpts.Stats()
+		fmt.Printf("warmup checkpoint: built %d, disk hits %d, load failures %d\n",
+			cs.Builds, cs.StoreHits, cs.LoadFailures)
+	}
 
 	if *asJSON {
 		reportJSON(r, mix.Name, *arch, *policy, header)
@@ -326,6 +341,7 @@ type jsonReport struct {
 	DAP        struct {
 		FWB, WB, IFRM, SFRM uint64
 	} `json:"dap_decisions"`
+	Sampling *dap.SamplingReport `json:"sampling,omitempty"`
 }
 
 func reportJSON(r dap.Result, mixName, arch, policy, header string) {
@@ -338,6 +354,7 @@ func reportJSON(r dap.Result, mixName, arch, policy, header string) {
 		MainMemCAS: r.MainMemCAS,
 		CASFrac:    r.MainMemCASFraction(),
 		Delivered:  r.DeliveredGBps,
+		Sampling:   r.Sampling,
 	}
 	for _, c := range r.Cores {
 		out.CoreIPC = append(out.CoreIPC, c.IPC())
@@ -353,6 +370,17 @@ func reportJSON(r dap.Result, mixName, arch, policy, header string) {
 }
 
 func report(r dap.Result) {
+	if sr := r.Sampling; sr != nil {
+		switch {
+		case sr.FellBack:
+			fmt.Printf("sampling: %d intervals did not converge; numbers below are the full-run fallback\n", sr.Intervals)
+		default:
+			fmt.Printf("sampling: %d intervals of %d instr (ff %d accesses), converged=%v\n",
+				sr.Intervals, sr.IntervalInstr, sr.FFAccesses, sr.Converged)
+			fmt.Printf("  aggregate IPC %s  delivered GB/s %s  hit ratio %s\n",
+				sr.IPC, sr.DeliveredGBps, sr.HitRatio)
+		}
+	}
 	fmt.Printf("cycles: %d\n", r.Cycles)
 	sum := 0.0
 	for i, c := range r.Cores {

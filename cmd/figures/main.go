@@ -50,6 +50,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1)")
 	chart := flag.Bool("chart", false, "also render each figure's first series as an ASCII bar chart")
 	jobs := flag.Int("j", 0, "max concurrent simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
+	useCkpt := flag.Bool("ckpt", false, "share warmup checkpoints across each figure's variants (bit-identical output, warmup runs once per mix)")
+	ckptDir := flag.String("ckpt-dir", "", "persist warmup checkpoints under this directory so reruns skip warmup entirely (implies -ckpt)")
+	sampled := flag.Bool("sampled", false, "SMARTS interval sampling: estimate each figure point from measured intervals with 95% CIs instead of the full timed region (fast, approximate)")
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address while the sweep runs; keeps serving after it until interrupted")
 	flag.Parse()
 
@@ -77,7 +80,17 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
-	opts := dap.Options{Quick: *quick, Parallel: *jobs}
+	opts := dap.Options{Quick: *quick, Parallel: *jobs, Sampled: *sampled}
+	if *ckptDir != "" {
+		ck, err := dap.NewWarmupCheckpoints(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: checkpoint store: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Ckpt = ck
+	} else if *useCkpt {
+		opts.Ckpt = dap.InMemoryWarmupCheckpoints()
+	}
 	ran := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.key] {
@@ -95,5 +108,10 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing matched -only; keys are fig1,fig2,fig4..fig15,tab1")
 		os.Exit(1)
+	}
+	if opts.Ckpt != nil {
+		st := opts.Ckpt.Stats()
+		fmt.Printf("warmup checkpoints: built %d, disk hits %d, load failures %d\n",
+			st.Builds, st.StoreHits, st.LoadFailures)
 	}
 }

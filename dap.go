@@ -186,6 +186,37 @@ func RunSeededE(cfg Config, w Workload, seed uint64) (Result, error) {
 	return harness.RunSeededE(cfg, w, seed)
 }
 
+// WarmupCheckpoints is the shared warmup-checkpoint cache behind `dapsim
+// -ckpt-dir` and Options.Ckpt: the full post-warmup simulator state is
+// snapshotted once per (workload, architecture, warmup length, seed) prefix
+// and every runtime-policy variant of that prefix resumes from the shared
+// snapshot, single-flight under concurrency. Resumed runs are bit-identical
+// to straight runs; only the wall clock changes.
+type WarmupCheckpoints = harness.Checkpoints
+
+// NewWarmupCheckpoints opens a checkpoint cache persisted (crash-safely)
+// under dir; checkpoints are reused across processes.
+func NewWarmupCheckpoints(dir string) (*WarmupCheckpoints, error) {
+	return harness.NewCheckpoints(dir)
+}
+
+// InMemoryWarmupCheckpoints returns a process-local checkpoint cache.
+func InMemoryWarmupCheckpoints() *WarmupCheckpoints { return harness.MemCheckpoints() }
+
+// RunCheckpointedE is RunSeededE resuming from the shared warmup-checkpoint
+// cache (ck == nil behaves exactly like RunSeededE).
+func RunCheckpointedE(cfg Config, w Workload, seed uint64, ck *WarmupCheckpoints) (Result, error) {
+	return harness.RunSeededCkptE(cfg, w, seed, ck)
+}
+
+// SamplingReport is the interval-sampling estimator's account found on
+// Result.Sampling when Config.Sampled is set: interval count, convergence,
+// and 95% confidence intervals for the headline metrics.
+type SamplingReport = harness.SamplingReport
+
+// MetricCI is a sampled metric: mean, 95% confidence half-width, intervals.
+type MetricCI = harness.MetricCI
+
 // AloneIPCE measures the single-core IPC of a named snippet on cfg, the
 // denominator of the paper's weighted-speedup metric.
 func AloneIPCE(cfg Config, name string) (float64, error) {
@@ -362,7 +393,14 @@ func ServeSweepsObserved(addr, dir string, opts SweepServeOptions) (*TelemetrySe
 	if flightDir == "" {
 		flightDir = filepath.Join(dir, "flight")
 	}
-	svc := jobqueue.NewService(q, st, harness.SweepExecutor, jobqueue.ServiceConfig{
+	// Jobs resume from shared warmup checkpoints persisted next to the
+	// queue: policy variants of the same sweep point warm up once.
+	ck, err := harness.NewCheckpoints(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		q.Close() //nolint:errcheck // surfacing the open error
+		return nil, nil, "", err
+	}
+	svc := jobqueue.NewService(q, st, harness.SweepExecutorCkpt(ck), jobqueue.ServiceConfig{
 		Workers: opts.Workers, FlightDir: flightDir,
 	})
 	if _, _, err := svc.Reconcile(); err != nil {

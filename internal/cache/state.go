@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+
+	"dap/internal/ckpt"
+)
+
+// SaveState serializes the cache's complete mutable state — every line
+// including replacement metadata, the recency tick, the random-victim RNG
+// and the hit/miss counters — into a checkpoint section. Geometry (sets,
+// ways, policy, set skip) is written first so LoadState can refuse a
+// checkpoint taken under a different configuration.
+func (c *Cache) SaveState(e *ckpt.Enc) {
+	e.U32(uint32(c.Sets))
+	e.U32(uint32(c.Ways))
+	e.U8(uint8(c.Policy))
+	e.U64(c.SetSkip)
+	e.U32(c.tick)
+	e.U64(c.rng)
+	e.U64(c.Stats.Hits)
+	e.U64(c.Stats.Misses)
+	e.U64(c.Stats.Evictions)
+	e.U64(c.Stats.DirtyEvic)
+	for i := range c.lines {
+		l := &c.lines[i]
+		e.U64(l.Tag)
+		e.Bool(l.Valid)
+		e.Bool(l.Dirty)
+		e.U32(l.State)
+		e.U64(l.VMask)
+		e.U64(l.DMask)
+		e.U32(l.lru)
+		e.Bool(l.nru)
+		e.U8(l.rrpv)
+	}
+}
+
+// LoadState restores state saved by SaveState. The receiver must have been
+// constructed with the same geometry; a mismatch returns an error without
+// modifying the cache.
+func (c *Cache) LoadState(d *ckpt.Dec) error {
+	sets, ways := int(d.U32()), int(d.U32())
+	policy, skip := ReplPolicy(d.U8()), d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if sets != c.Sets || ways != c.Ways || policy != c.Policy || skip != c.SetSkip {
+		return fmt.Errorf("cache: checkpoint geometry %d sets x %d ways policy %d skip %d != built %d x %d policy %d skip %d",
+			sets, ways, policy, skip, c.Sets, c.Ways, c.Policy, c.SetSkip)
+	}
+	c.tick = d.U32()
+	c.rng = d.U64()
+	c.Stats.Hits = d.U64()
+	c.Stats.Misses = d.U64()
+	c.Stats.Evictions = d.U64()
+	c.Stats.DirtyEvic = d.U64()
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.Tag = d.U64()
+		l.Valid = d.Bool()
+		l.Dirty = d.Bool()
+		l.State = d.U32()
+		l.VMask = d.U64()
+		l.DMask = d.U64()
+		l.lru = d.U32()
+		l.nru = d.Bool()
+		l.rrpv = d.U8()
+	}
+	return d.Err()
+}

@@ -1,0 +1,283 @@
+// Package ckpt implements the versioned, checksummed binary envelope used
+// for warmup checkpoints (ISSUE 8). A checkpoint is a flat sequence of named
+// sections — one per simulator component (per-core caches, prefetchers,
+// workload stream cursors, memory-side cache tags, policy state, DRAM
+// state) — framed by a magic string, a format version, and a trailing
+// FNV-64a checksum over the whole payload.
+//
+// The envelope is deliberately dumb: fixed-width little-endian integers,
+// length-prefixed sections, no compression, no reflection. Components
+// serialize themselves through Enc/Dec so the set of bytes written is
+// exactly the set of fields a restore needs, and nothing else. Sections are
+// looked up by name at load time, so readers skip sections they do not
+// understand and tolerate sections that are absent (a component that did
+// not exist in the saving configuration simply has no section; the restored
+// component keeps its freshly-constructed state, which is correct because
+// functional warmup never mutates it).
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Magic and Version identify the envelope format. Bump Version on any
+// incompatible layout change; Load rejects mismatches as corruption so the
+// caller re-runs warmup instead of resuming from garbage.
+const (
+	Magic   = "DAPCKPT1"
+	Version = 1
+)
+
+// ErrCorrupt is returned (wrapped) for any structural damage: bad magic,
+// version mismatch, truncation, checksum failure, or a section read past
+// its end.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// Writer accumulates named sections and renders the envelope.
+type Writer struct {
+	names    []string
+	sections map[string]*Enc
+}
+
+// NewWriter returns an empty checkpoint writer.
+func NewWriter() *Writer {
+	return &Writer{sections: make(map[string]*Enc)}
+}
+
+// Section returns the encoder for the named section, creating it on first
+// use. Calling Section twice with the same name returns the same encoder
+// (appends continue).
+func (w *Writer) Section(name string) *Enc {
+	if e, ok := w.sections[name]; ok {
+		return e
+	}
+	e := &Enc{}
+	w.sections[name] = e
+	w.names = append(w.names, name)
+	return e
+}
+
+// Bytes renders the envelope: magic, version, section count, the sections
+// in creation order, and the FNV-64a checksum of everything before it.
+func (w *Writer) Bytes() []byte {
+	var buf []byte
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.names)))
+	for _, name := range w.names {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		sec := w.sections[name].buf
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec)))
+		buf = append(buf, sec...)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// Reader holds a parsed, checksum-verified envelope.
+type Reader struct {
+	sections map[string][]byte
+}
+
+// NewReader parses and verifies an envelope. Any structural problem returns
+// an error wrapping ErrCorrupt.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(Magic)+4+4+8 {
+		return nil, fmt.Errorf("%w: short envelope (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if string(body[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(Magic)
+	ver := binary.LittleEndian.Uint32(body[off:])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, ver, Version)
+	}
+	off += 4
+	n := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	r := &Reader{sections: make(map[string][]byte, n)}
+	for i := 0; i < n; i++ {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+		}
+		nl := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+nl+4 > len(body) {
+			return nil, fmt.Errorf("%w: truncated section name", ErrCorrupt)
+		}
+		name := string(body[off : off+nl])
+		off += nl
+		sl := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+sl > len(body) {
+			return nil, fmt.Errorf("%w: truncated section %q", ErrCorrupt, name)
+		}
+		r.sections[name] = body[off : off+sl]
+		off += sl
+	}
+	return r, nil
+}
+
+// Section returns a decoder over the named section, or ok=false when the
+// envelope has no such section.
+func (r *Reader) Section(name string) (*Dec, bool) {
+	b, ok := r.sections[name]
+	if !ok {
+		return nil, false
+	}
+	return &Dec{buf: b}, true
+}
+
+// Names returns the section names in sorted order (diagnostics).
+func (r *Reader) Names() []string {
+	names := make([]string, 0, len(r.sections))
+	for n := range r.sections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Enc appends fixed-width little-endian values to a section.
+type Enc struct {
+	buf []byte
+}
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64 (two's complement).
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U16 appends a uint16.
+func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U8 appends a byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a byte-encoded bool.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends an IEEE-754 float64 bit pattern.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte string.
+func (e *Enc) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Len returns the number of bytes encoded so far.
+func (e *Enc) Len() int { return len(e.buf) }
+
+// Dec reads fixed-width little-endian values from a section. Reads past the
+// end latch an error and return zero values; check Err once after decoding
+// a group of fields.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: section read past end (off %d + %d > %d)", ErrCorrupt, d.off, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// U32 reads a uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U16 reads a uint16.
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U8 reads a byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a byte-encoded bool.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// F64 reads an IEEE-754 float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes reads a length-prefixed byte string.
+func (d *Dec) Bytes() []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Err returns the first decode error (nil if all reads were in bounds).
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes (diagnostics and
+// end-of-section assertions).
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }

@@ -1,0 +1,63 @@
+package core
+
+import "dap/internal/ckpt"
+
+// Checkpoint serialization for the partitioner. Functional warmup never
+// advances the engine clock, so the DAP window timer has not fired at
+// warmup-checkpoint time and the credit counters are still at their
+// constructed zeros; they are serialized anyway so a checkpoint is a
+// complete snapshot of the learner.
+
+// SaveState serializes the DAP runtime state: credit counters, the IFRM
+// grant watermark, the EWMA-smoothed window counts, the decision counts and
+// the window diagnostics. Derived configuration (K, per-window capacities)
+// is not serialized — it is recomputed by NewDAP from the variant's own
+// config on restore.
+func (d *DAP) SaveState(e *ckpt.Enc) {
+	e.I64(d.fwb)
+	e.I64(d.wb)
+	e.I64(d.ifrm)
+	e.I64(d.sfrm)
+	e.I64(d.wt)
+	e.I64(d.ifrmGrant)
+	e.I64(d.smooth.AMSR)
+	e.I64(d.smooth.AMSW)
+	e.I64(d.smooth.AMM)
+	e.I64(d.smooth.Rm)
+	e.I64(d.smooth.Wm)
+	e.I64(d.smooth.CleanHits)
+	e.U64(uint64(d.dec.FWB))
+	e.U64(uint64(d.dec.WB))
+	e.U64(uint64(d.dec.IFRM))
+	e.U64(uint64(d.dec.SFRM))
+	e.U64(d.Windows)
+	e.U64(d.Partitioned)
+	e.I64(d.SumAMS)
+	e.I64(d.SumAMM)
+}
+
+// LoadState restores state saved by SaveState into a freshly constructed
+// DAP (the window timer scheduled by NewDAP keeps running).
+func (d *DAP) LoadState(dec *ckpt.Dec) error {
+	d.fwb = dec.I64()
+	d.wb = dec.I64()
+	d.ifrm = dec.I64()
+	d.sfrm = dec.I64()
+	d.wt = dec.I64()
+	d.ifrmGrant = dec.I64()
+	d.smooth.AMSR = dec.I64()
+	d.smooth.AMSW = dec.I64()
+	d.smooth.AMM = dec.I64()
+	d.smooth.Rm = dec.I64()
+	d.smooth.Wm = dec.I64()
+	d.smooth.CleanHits = dec.I64()
+	d.dec.FWB = dec.U64()
+	d.dec.WB = dec.U64()
+	d.dec.IFRM = dec.U64()
+	d.dec.SFRM = dec.U64()
+	d.Windows = dec.U64()
+	d.Partitioned = dec.U64()
+	d.SumAMS = dec.I64()
+	d.SumAMM = dec.I64()
+	return dec.Err()
+}

@@ -21,6 +21,7 @@ type CPU struct {
 
 	startAt   mem.Cycle
 	remaining int
+	halted    bool
 }
 
 // New builds the processor complex. Streams are attached with SetStreams.
@@ -76,6 +77,7 @@ func (c *CPU) Warm(n int) {
 func (c *CPU) Start(target uint64) {
 	c.startAt = c.eng.Now()
 	c.remaining = len(c.cores)
+	c.halted = false
 	for _, co := range c.cores {
 		co.target = target
 		co.fetched = 0
@@ -89,6 +91,25 @@ func (c *CPU) Start(target uint64) {
 
 // Done reports whether every core reached its target.
 func (c *CPU) Done() bool { return c.remaining == 0 }
+
+// Halt stops issuing new accesses on every core. Outstanding loads,
+// prefetches and wake events keep draining through the engine; once
+// Quiesced reports true the cores are idle and a new measured interval can
+// begin with Start (which clears the halt). Used by SMARTS-style interval
+// sampling to end a measured interval without running cores to a target.
+func (c *CPU) Halt() { c.halted = true }
+
+// Quiesced reports whether every core has fully drained: no in-flight
+// loads, no outstanding MSHR fills or prefetches, and no pending wake
+// events. Only meaningful after Halt.
+func (c *CPU) Quiesced() bool {
+	for _, co := range c.cores {
+		if len(co.inflight) != 0 || len(co.mshr) != 0 || co.pfOut != 0 || co.wakeSet {
+			return false
+		}
+	}
+	return true
+}
 
 // ProgressFingerprint returns a value that changes whenever the slowest
 // unfinished core fetches an instruction — the forward-progress signal the
@@ -343,6 +364,9 @@ func (co *core) checkFinished() {
 // advance is the core's event handler: fetch toward the next access, issue
 // it when reached, repeat; otherwise arrange to be woken.
 func (co *core) advance() {
+	if co.cpu.halted {
+		return
+	}
 	eng := co.cpu.eng
 	for {
 		co.catchUp()

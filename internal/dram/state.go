@@ -1,0 +1,68 @@
+package dram
+
+import (
+	"fmt"
+
+	"dap/internal/ckpt"
+	"dap/internal/mem"
+)
+
+// Checkpoint serialization for the DRAM timing state. A warmup checkpoint
+// is taken before any timed request has been enqueued, so the queues must
+// be empty and the bank/bus state is still at its constructed values
+// (rows closed, bus free at cycle zero); it is serialized anyway so the
+// checkpoint is a complete snapshot of every channel's scheduler-visible
+// state. Statistics are reset by the harness before measurement on both
+// the straight and the resumed path and are not serialized.
+
+// SaveState serializes the device's channel and bank timing state. It
+// returns an error if any channel still has queued requests — a warmup
+// checkpoint must be taken with the memory system drained.
+func (d *Device) SaveState(e *ckpt.Enc) error {
+	e.U32(uint32(len(d.channels)))
+	for i, ch := range d.channels {
+		if ch.queueLen() != 0 {
+			return fmt.Errorf("dram: channel %d has %d queued requests; checkpoint requires a drained device", i, ch.queueLen())
+		}
+		e.U32(uint32(len(ch.banks)))
+		for b := range ch.banks {
+			bk := &ch.banks[b]
+			e.I64(bk.openRow)
+			e.I64(int64(bk.nextData))
+			e.I64(int64(bk.actAt))
+		}
+		e.I64(int64(ch.busFree))
+		e.Bool(ch.draining)
+		e.Bool(ch.lastWrite)
+	}
+	return nil
+}
+
+// LoadState restores state saved by SaveState into a freshly built device
+// of identical geometry.
+func (d *Device) LoadState(dec *ckpt.Dec) error {
+	if n := int(dec.U32()); n != len(d.channels) {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("dram: checkpoint has %d channels, built %d", n, len(d.channels))
+	}
+	for i, ch := range d.channels {
+		if n := int(dec.U32()); n != len(ch.banks) {
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("dram: checkpoint channel %d has %d banks, built %d", i, n, len(ch.banks))
+		}
+		for b := range ch.banks {
+			bk := &ch.banks[b]
+			bk.openRow = dec.I64()
+			bk.nextData = mem.Cycle(dec.I64())
+			bk.actAt = mem.Cycle(dec.I64())
+		}
+		ch.busFree = mem.Cycle(dec.I64())
+		ch.draining = dec.Bool()
+		ch.lastWrite = dec.Bool()
+	}
+	return dec.Err()
+}

@@ -24,6 +24,21 @@ type Options struct {
 	// bit-identical to the serial one.
 	Parallel int
 
+	// Ckpt, when non-nil, resumes every driver simulation from a shared
+	// warmup checkpoint: all policy/DRAM variants of the same (mix, arch,
+	// warmup, seed) prefix restore from one snapshot, built single-flight
+	// by whichever variant gets there first. Results are bit-identical to
+	// running with Ckpt nil; only the wall clock changes.
+	Ckpt *Checkpoints
+
+	// Sampled switches every driver simulation to SMARTS interval sampling
+	// (Config.Sampled): the timed region shrinks to a train of measured
+	// intervals, so the figure becomes a confidence-interval-backed
+	// estimate produced in a fraction of the detailed-simulation time.
+	// Unlike Ckpt this trades exactness for speed; leave it off when the
+	// figure must be bit-exact.
+	Sampled bool
+
 	// tiny shrinks runs far below Quick so in-package tests can afford to
 	// execute whole drivers repeatedly (e.g. the parallel-vs-serial
 	// determinism sweep). Deliberately unexported: figures produced at this
@@ -31,17 +46,29 @@ type Options struct {
 	tiny bool
 }
 
+// run executes one driver simulation, through the warmup-checkpoint cache
+// when the options carry one.
+func (o Options) run(cfg Config, mix workload.Mix) Result {
+	if o.Ckpt != nil {
+		return RunMixCkpt(cfg, mix, o.Ckpt)
+	}
+	return RunMix(cfg, mix)
+}
+
 func (o Options) base() Config {
-	if o.tiny {
-		c := Quick()
+	var c Config
+	switch {
+	case o.tiny:
+		c = Quick()
 		c.WarmAccesses = 40_000
 		c.MeasureInstr = 80_000
-		return c
+	case o.Quick:
+		c = Quick()
+	default:
+		c = Default()
 	}
-	if o.Quick {
-		return Quick()
-	}
-	return Default()
+	c.Sampled = o.Sampled
+	return c
 }
 
 // labeled pairs a configuration with its series label.
@@ -71,7 +98,7 @@ func sensitiveMixes(cores int) []workload.Mix {
 // and returns the results in mix order.
 func runMixes(o Options, cfg Config, mixes []workload.Mix) []Result {
 	return runner.Map(o.Parallel, len(mixes), func(i int) Result {
-		return RunMix(cfg, mixes[i])
+		return o.run(cfg, mixes[i])
 	})
 }
 
@@ -89,7 +116,7 @@ func nws(o Options, mixes []workload.Mix, base Config, alts []labeled, weightCfg
 	// ws[ci*len(mixes)+mi] is the weighted speedup of cfgs[ci] on mixes[mi]
 	ws := runner.Map(o.Parallel, len(cfgs)*len(mixes), func(j int) float64 {
 		ci, mi := j/len(mixes), j%len(mixes)
-		r := RunMix(cfgs[ci], mixes[mi])
+		r := o.run(cfgs[ci], mixes[mi])
 		return alone.weightedSpeedup(r, weightCfg, mixes[mi])
 	})
 	baseWS := ws[:len(mixes)]

@@ -69,6 +69,7 @@ func sweepConfig(spec jobqueue.JobSpec) (Config, workload.Mix, error) {
 	if err != nil {
 		return Config{}, workload.Mix{}, err
 	}
+	cfg.Sampled = spec.Sampled
 	// The service always flies the black box: Flight is part of the resolved
 	// configuration (rather than toggled after the fact) so SweepKey's
 	// fingerprint and the fingerprint embedded in the stored result agree.
@@ -123,6 +124,9 @@ type SweepResult struct {
 	Fingerprint string    `json:"fingerprint"`
 	AggIPC      float64   `json:"agg_ipc"`
 	Run         stats.Run `json:"run"`
+	// Sampling carries the interval-sampling estimator's report for
+	// Sampled jobs (absent on full runs).
+	Sampling *SamplingReport `json:"sampling,omitempty"`
 }
 
 // SweepExecutor runs one job spec through the simulator and renders its
@@ -132,6 +136,20 @@ type SweepResult struct {
 // wrapping the cause, so the service can persist and serve the frozen
 // flight recording as a postmortem.
 func SweepExecutor(ctx context.Context, spec jobqueue.JobSpec) ([]byte, error) {
+	return sweepExecute(ctx, spec, nil)
+}
+
+// SweepExecutorCkpt returns a jobqueue.Executor that resumes each job from
+// the shared warmup-checkpoint cache: concurrent jobs differing only in
+// runtime policy restore from one single-flight snapshot. Results stay
+// byte-identical to SweepExecutor's.
+func SweepExecutorCkpt(ck *Checkpoints) jobqueue.Executor {
+	return func(ctx context.Context, spec jobqueue.JobSpec) ([]byte, error) {
+		return sweepExecute(ctx, spec, ck)
+	}
+}
+
+func sweepExecute(ctx context.Context, spec jobqueue.JobSpec, ck *Checkpoints) ([]byte, error) {
 	cfg, mix, err := sweepConfig(spec)
 	if err != nil {
 		return nil, err
@@ -141,7 +159,7 @@ func SweepExecutor(ctx context.Context, spec jobqueue.JobSpec) ([]byte, error) {
 	log.Info("simulation start", "corr", corr,
 		"mix", mix.Name, "arch", cfg.Arch.String(), "policy", cfg.Policy.String(),
 		"seed", spec.Seed, "fingerprint", Fingerprint(cfg))
-	res, err := RunSeededE(cfg, mix, spec.Seed)
+	res, err := RunSeededCkptE(cfg, mix, spec.Seed, ck)
 	if err != nil {
 		reason, snap := classifyAbort(err)
 		log.Error("simulation aborted", "corr", corr, "reason", reason, "err", err.Error())
@@ -163,6 +181,7 @@ func SweepExecutor(ctx context.Context, spec jobqueue.JobSpec) ([]byte, error) {
 	out := SweepResult{
 		Mix: mix.Name, Arch: cfg.Arch.String(), Policy: cfg.Policy.String(),
 		Seed: spec.Seed, Fingerprint: Fingerprint(cfg), AggIPC: agg, Run: res.Run,
+		Sampling: res.Sampling,
 	}
 	payload, err := json.Marshal(out)
 	if err != nil {

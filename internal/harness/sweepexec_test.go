@@ -120,6 +120,41 @@ func TestSweepExecutorDeterministicPayload(t *testing.T) {
 	}
 }
 
+// TestSweepExecutorSampledJob runs a Sampled spec through the
+// checkpoint-aware executor: the payload must carry the sampling report,
+// the Sampled knob must move the store key (a sampled result is not
+// interchangeable with a full run's), and the shared cache must have
+// warmed at most once.
+func TestSweepExecutorSampledJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	spec := tinySweepSpec()
+	spec.Sampled = true
+	if SweepKey(spec) == SweepKey(tinySweepSpec()) {
+		t.Fatal("Sampled does not move the sweep key")
+	}
+	ck := MemCheckpoints()
+	exec := SweepExecutorCkpt(ck)
+	payload, err := exec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SweepResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampling == nil {
+		t.Fatalf("sampled job carries no sampling report: %+v", res)
+	}
+	if !res.Sampling.Converged && !res.Sampling.FellBack {
+		t.Fatalf("sampling report neither converged nor fell back: %+v", res.Sampling)
+	}
+	if got := ck.Builds(); got > 1 {
+		t.Fatalf("builds = %d, want at most 1", got)
+	}
+}
+
 func TestSweepExecutorRejectsBadSpec(t *testing.T) {
 	if _, err := SweepExecutor(context.Background(), jobqueue.JobSpec{Mix: "nope", Arch: "sectored", Policy: "baseline"}); err == nil {
 		t.Fatal("executor ran an unresolvable spec")

@@ -157,6 +157,26 @@ type Config struct {
 	FlightEvery int
 	// FlightCap bounds the ring in entries (0 = 192; oldest evicted first).
 	FlightCap int
+
+	// Sampled enables SMARTS-style interval sampling: instead of one long
+	// timed region, the run alternates functional fast-forward with short
+	// measured intervals and reports per-metric means with measured 95%
+	// confidence intervals (Result.Sampling). If the intervals have not
+	// converged to SampleCI after SampleMax of them, the harness falls back
+	// to the full timed run.
+	Sampled bool
+	// SampleInterval is the measured-interval length in instructions per
+	// core (0 = MeasureInstr/50, at least 25_000).
+	SampleInterval uint64
+	// SampleFF is the functional fast-forward length between measured
+	// intervals, in accesses per core (0 = 10_000).
+	SampleFF int
+	// SampleMin and SampleMax bound the number of measured intervals
+	// (0 = 8 and 40 respectively).
+	SampleMin, SampleMax int
+	// SampleCI is the convergence target: the 95% confidence half-width of
+	// aggregate IPC as a fraction of its mean (0 = 0.05).
+	SampleCI float64
 }
 
 // DefaultWatchdogEvents is the watchdog deadline when Config.WatchdogEvents
@@ -218,6 +238,12 @@ type Result struct {
 	// Flight holds the stall flight recording (nil unless Config.Flight).
 	// On an aborted run, freeze it with Flight.Dump for the postmortem.
 	Flight *obs.FlightRecorder
+	// Sampling reports the interval-sampling estimator when the run executed
+	// in Sampled mode: interval count, convergence, and 95% confidence
+	// intervals for the headline metrics. It is nil for full runs; on a
+	// sampled run that failed to converge, the harness falls back to the
+	// full timed run and returns its numbers with Sampling.FellBack set.
+	Sampling *SamplingReport
 }
 
 // dapConfigFor derives the DAP parameters for the configured architecture.
@@ -283,6 +309,7 @@ type System struct {
 	counts   *reqCounter
 
 	mixName string
+	mix     workload.Mix // resized to Cores; kept for the sampled-run fallback
 	seed    uint64
 }
 
@@ -292,7 +319,7 @@ func Build(cfg Config, mix workload.Mix) *System {
 		// allow rate mixes authored for a different core count
 		mix = workload.Mix{Name: mix.Name, Specs: resize(mix.Specs, cfg.CPU.Cores)}
 	}
-	s := &System{Cfg: cfg, Eng: sim.New(), mixName: mix.Name}
+	s := &System{Cfg: cfg, Eng: sim.New(), mixName: mix.Name, mix: mix}
 	s.MM = dram.NewDevice(cfg.MainMemory, s.Eng)
 	s.Part = core.Nop{}
 
@@ -444,9 +471,29 @@ func resize(specs []workload.Spec, n int) []workload.Spec {
 }
 
 // Run executes warmup plus the timed region and collects the results.
+// Sampled configurations route through the interval-sampling estimator.
 func (s *System) Run() Result {
+	s.Warmup()
+	if s.Cfg.Sampled {
+		return s.runSampled(nil)
+	}
+	return s.Measure()
+}
+
+// Warmup executes the functional warmup: WarmAccesses accesses per core
+// stream through the SRAM hierarchy and the memory-side tags without
+// advancing the engine clock. The post-warmup state is exactly what
+// SaveCheckpoint captures and LoadCheckpoint restores, so
+// Warmup-then-Measure and restore-then-Measure are bit-identical.
+func (s *System) Warmup() {
+	s.CPU.Warm(s.Cfg.WarmAccesses)
+}
+
+// Measure runs the timed region on an already-warm system and collects the
+// results. Run = Warmup + Measure; checkpoint-aware entry points swap the
+// Warmup for a LoadCheckpoint.
+func (s *System) Measure() Result {
 	cfg := s.Cfg
-	s.CPU.Warm(cfg.WarmAccesses)
 	s.Ctrl.ResetStats()
 	s.MM.ResetStats()
 	if s.sectored != nil {
@@ -680,6 +727,9 @@ func ReplicateParallel(parallel int, cfg Config, mix workload.Mix, n int, metric
 // one copy of the spec running alone.
 func AloneIPC(cfg Config, spec workload.Spec) float64 {
 	cfg.CPU.Cores = 1
+	// Alone IPCs are normalization denominators shared by every figure in
+	// the process; they stay exact even when the figure itself is sampled.
+	cfg.Sampled = false
 	mix := workload.Mix{Name: spec.Name + "-alone", Specs: []workload.Spec{spec}}
 	r := RunMix(cfg, mix)
 	return r.Cores[0].IPC()
@@ -689,12 +739,14 @@ func AloneIPC(cfg Config, spec workload.Spec) float64 {
 // field that can influence a single-core alone run. It must be exhaustive:
 // the memo it keys is shared by every figure across a whole process, so two
 // configurations may only collide when the alone simulation they describe
-// is genuinely identical. Cores is normalized (AloneIPC forces one core)
+// is genuinely identical. Cores and Sampled are normalized (AloneIPC
+// forces one exact core, so sampled and full figure runs share entries)
 // and the two pointer fields are dereferenced — with the DAPOverride's
 // Backlog hook excluded, since that is injected per-system at Build time —
 // so that equal configurations format to equal keys.
 func aloneFingerprint(cfg Config) string {
 	cfg.CPU.Cores = 1
+	cfg.Sampled = false
 	return cfgKey(cfg)
 }
 

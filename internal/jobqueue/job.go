@@ -59,12 +59,15 @@ type JobSpec struct {
 	Instr uint64 `json:"instr,omitempty"`
 	Warm  int    `json:"warm,omitempty"`
 	Quick bool   `json:"quick,omitempty"`
+	// Sampled asks the executor for SMARTS-style interval sampling instead
+	// of the full timed region (the result carries confidence intervals).
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // String renders the spec as the default store key.
 func (j JobSpec) String() string {
-	return fmt.Sprintf("%s|%s|%s|seed=%d|cores=%d|instr=%d|warm=%d|quick=%v",
-		j.Mix, j.Arch, j.Policy, j.Seed, j.Cores, j.Instr, j.Warm, j.Quick)
+	return fmt.Sprintf("%s|%s|%s|seed=%d|cores=%d|instr=%d|warm=%d|quick=%v|sampled=%v",
+		j.Mix, j.Arch, j.Policy, j.Seed, j.Cores, j.Instr, j.Warm, j.Quick, j.Sampled)
 }
 
 // SweepSpec is the client-facing request: the cross product of mixes ×
@@ -75,10 +78,11 @@ type SweepSpec struct {
 	Policies []string `json:"policies"`
 	Seeds    []uint64 `json:"seeds"`
 
-	Cores int    `json:"cores,omitempty"`
-	Instr uint64 `json:"instr,omitempty"`
-	Warm  int    `json:"warm,omitempty"`
-	Quick bool   `json:"quick,omitempty"`
+	Cores   int    `json:"cores,omitempty"`
+	Instr   uint64 `json:"instr,omitempty"`
+	Warm    int    `json:"warm,omitempty"`
+	Quick   bool   `json:"quick,omitempty"`
+	Sampled bool   `json:"sampled,omitempty"`
 }
 
 // Expand returns the sweep's jobs in deterministic submission order
@@ -105,6 +109,7 @@ func (s SweepSpec) Expand() []JobSpec {
 					out = append(out, JobSpec{
 						Mix: mix, Arch: arch, Policy: pol, Seed: seed,
 						Cores: s.Cores, Instr: s.Instr, Warm: s.Warm, Quick: s.Quick,
+						Sampled: s.Sampled,
 					})
 				}
 			}

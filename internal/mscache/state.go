@@ -1,0 +1,142 @@
+package mscache
+
+import (
+	"fmt"
+	"sort"
+
+	"dap/internal/ckpt"
+)
+
+// Checkpoint serialization for the three memory-side cache controllers.
+// Functional warmup (WarmRead/WarmWriteback) mutates only the structures
+// serialized here: the sector/line tag arrays (including per-block
+// valid/dirty masks and replacement metadata), the SRAM tag cache, the
+// footprint history table, the Alloy dirty-bit cache and the Alloy
+// predictors. The per-window demand counters and MemSideStats are reset by
+// the harness before measurement on both the straight and the resumed
+// path, so they are not serialized; the optional SBD/BATMAN policies are
+// serialized as their own sections by the harness.
+
+// SaveState serializes the sectored DRAM cache's warmup-visible state.
+func (s *Sectored) SaveState(e *ckpt.Enc) {
+	s.tags.SaveState(e)
+	e.Bool(s.tagCache != nil)
+	if s.tagCache != nil {
+		s.tagCache.SaveState(e)
+	}
+	saveFootprint(e, s.fp)
+}
+
+// LoadState restores state saved by SaveState.
+func (s *Sectored) LoadState(d *ckpt.Dec) error {
+	if err := s.tags.LoadState(d); err != nil {
+		return fmt.Errorf("mscache: sectored tags: %w", err)
+	}
+	hadTC := d.Bool()
+	if hadTC != (s.tagCache != nil) {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("mscache: checkpoint tag cache presence %v != built %v", hadTC, s.tagCache != nil)
+	}
+	if s.tagCache != nil {
+		if err := s.tagCache.LoadState(d); err != nil {
+			return fmt.Errorf("mscache: sectored tag cache: %w", err)
+		}
+	}
+	return loadFootprint(d, s.fp)
+}
+
+// SaveState serializes the Alloy cache's warmup-visible state.
+func (a *Alloy) SaveState(e *ckpt.Enc) {
+	a.tags.SaveState(e)
+	e.U32(uint32(a.dbc.sets))
+	e.U32(uint32(a.dbc.ways))
+	e.U64(a.dbc.tick)
+	for i := range a.dbc.entries {
+		en := &a.dbc.entries[i]
+		e.Bool(en.valid)
+		e.U64(en.group)
+		e.U64(en.bits)
+		e.U64(en.lru)
+	}
+	e.Bytes(a.pred)
+	e.Bytes(a.fillPred)
+}
+
+// LoadState restores state saved by SaveState.
+func (a *Alloy) LoadState(d *ckpt.Dec) error {
+	if err := a.tags.LoadState(d); err != nil {
+		return fmt.Errorf("mscache: alloy tags: %w", err)
+	}
+	sets, ways := int(d.U32()), int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if sets != a.dbc.sets || ways != a.dbc.ways {
+		return fmt.Errorf("mscache: checkpoint DBC %dx%d != built %dx%d", sets, ways, a.dbc.sets, a.dbc.ways)
+	}
+	a.dbc.tick = d.U64()
+	for i := range a.dbc.entries {
+		en := &a.dbc.entries[i]
+		en.valid = d.Bool()
+		en.group = d.U64()
+		en.bits = d.U64()
+		en.lru = d.U64()
+	}
+	pred, fillPred := d.Bytes(), d.Bytes()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(pred) != len(a.pred) || len(fillPred) != len(a.fillPred) {
+		return fmt.Errorf("mscache: checkpoint predictor sizes %d/%d != built %d/%d",
+			len(pred), len(fillPred), len(a.pred), len(a.fillPred))
+	}
+	copy(a.pred, pred)
+	copy(a.fillPred, fillPred)
+	return nil
+}
+
+// SaveState serializes the eDRAM cache's warmup-visible state.
+func (e *EDRAM) SaveState(enc *ckpt.Enc) {
+	e.tags.SaveState(enc)
+}
+
+// LoadState restores state saved by SaveState.
+func (e *EDRAM) LoadState(d *ckpt.Dec) error {
+	if err := e.tags.LoadState(d); err != nil {
+		return fmt.Errorf("mscache: edram tags: %w", err)
+	}
+	return nil
+}
+
+// saveFootprint serializes the footprint history table sorted by sector so
+// the byte stream is deterministic despite map iteration order.
+func saveFootprint(e *ckpt.Enc, f *footprintTable) {
+	keys := make([]uint64, 0, len(f.m))
+	for k := range f.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.U64(k)
+		e.U64(f.m[k])
+	}
+}
+
+func loadFootprint(d *ckpt.Dec, f *footprintTable) error {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n > f.cap {
+		return fmt.Errorf("mscache: checkpoint footprint table has %d entries, cap %d", n, f.cap)
+	}
+	f.m = make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := d.U64()
+		f.m[k] = d.U64()
+	}
+	return d.Err()
+}

@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"dap/internal/ckpt"
+	"dap/internal/mem"
+)
+
+// Checkpoint serialization for the policy state machines. Functional warmup
+// never invokes SBD or BATMAN (they only observe the timed datapath), so at
+// warmup-checkpoint time both are in their freshly-constructed state; they
+// are serialized anyway so a checkpoint is a complete simulator snapshot
+// and the format does not have to change if a future warmup path starts
+// training them.
+
+// SaveState serializes the SBD decision state: the counting Bloom filter
+// bank, the Dirty List (sorted by page so the byte stream is deterministic
+// despite map iteration order), the hit-predictor EWMA and the decay
+// bookkeeping.
+func (s *SBD) SaveState(e *ckpt.Enc) {
+	e.U32(uint32(len(s.counters)))
+	for _, c := range s.counters {
+		e.U8(c)
+	}
+	pages := make([]mem.Addr, 0, len(s.dirty))
+	for p := range s.dirty {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	e.U32(uint32(len(pages)))
+	for _, p := range pages {
+		e.U64(uint64(p))
+		e.U32(s.dirty[p])
+	}
+	e.U32(s.hitEWMA)
+	e.U64(s.writes)
+	e.U64(s.SteeredMM)
+	e.U64(s.Promotions)
+	e.U64(s.Cleanings)
+}
+
+// LoadState restores state saved by SaveState.
+func (s *SBD) LoadState(d *ckpt.Dec) error {
+	if n := int(d.U32()); n != len(s.counters) {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("policy: SBD checkpoint has %d counters, built %d", n, len(s.counters))
+	}
+	for i := range s.counters {
+		s.counters[i] = d.U8()
+	}
+	n := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	s.dirty = make(map[mem.Addr]uint32, n)
+	for i := 0; i < n; i++ {
+		p := mem.Addr(d.U64())
+		s.dirty[p] = d.U32()
+	}
+	s.hitEWMA = d.U32()
+	s.writes = d.U64()
+	s.SteeredMM = d.U64()
+	s.Promotions = d.U64()
+	s.Cleanings = d.U64()
+	return d.Err()
+}
+
+// SaveState serializes BATMAN's adaptive state: the disabled-set watermark,
+// the in-epoch hit/lookup counters and the epoch statistics.
+func (b *BATMAN) SaveState(e *ckpt.Enc) {
+	e.U32(uint32(b.sets))
+	e.U32(uint32(b.disabled))
+	e.U64(b.hits)
+	e.U64(b.lookups)
+	e.U64(b.Epochs)
+	e.U64(b.DisableOps)
+	e.U64(b.EnableOps)
+}
+
+// LoadState restores state saved by SaveState.
+func (b *BATMAN) LoadState(d *ckpt.Dec) error {
+	if n := int(d.U32()); n != b.sets {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("policy: BATMAN checkpoint has %d sets, built %d", n, b.sets)
+	}
+	b.disabled = int(d.U32())
+	b.hits = d.U64()
+	b.lookups = d.U64()
+	b.Epochs = d.U64()
+	b.DisableOps = d.U64()
+	b.EnableOps = d.U64()
+	return d.Err()
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"dap/internal/ckpt"
+)
+
+// StatefulStream is implemented by streams whose position can be saved into
+// a warmup checkpoint and restored into a freshly constructed stream of the
+// same kind. Construction-time derived state (footprint geometry, the
+// usable-block permutation, the recorded trace itself) is NOT serialized —
+// it is reproduced by rebuilding the stream from its spec or trace file —
+// only the mutable cursor state that functional warmup advances.
+type StatefulStream interface {
+	Stream
+	// SaveState appends the stream's cursor state to a checkpoint section.
+	SaveState(e *ckpt.Enc)
+	// LoadState restores cursor state saved by SaveState. The receiver must
+	// have been constructed identically to the saving stream.
+	LoadState(d *ckpt.Dec) error
+}
+
+// SaveState implements StatefulStream: RNG state plus the two cursors.
+func (s *specStream) SaveState(e *ckpt.Enc) {
+	e.U64(s.r.s)
+	e.U64(s.streamPos)
+	e.U64(s.chasePos)
+}
+
+// LoadState implements StatefulStream.
+func (s *specStream) LoadState(d *ckpt.Dec) error {
+	s.r.s = d.U64()
+	s.streamPos = d.U64()
+	s.chasePos = d.U64()
+	return d.Err()
+}
+
+// SaveState implements StatefulStream: the replay cursor. The trace length
+// is recorded so a restore into a different trace is rejected rather than
+// replayed out of phase.
+func (t *TraceStream) SaveState(e *ckpt.Enc) {
+	e.U64(uint64(len(t.accs)))
+	e.U64(uint64(t.pos))
+}
+
+// LoadState implements StatefulStream.
+func (t *TraceStream) LoadState(d *ckpt.Dec) error {
+	n, pos := d.U64(), d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if int(n) != len(t.accs) {
+		return fmt.Errorf("workload: checkpoint trace length %d != loaded trace length %d", n, len(t.accs))
+	}
+	if pos >= n {
+		return fmt.Errorf("workload: checkpoint trace cursor %d out of range [0,%d)", pos, n)
+	}
+	t.pos = int(pos)
+	return nil
+}

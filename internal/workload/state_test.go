@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"dap/internal/ckpt"
+)
+
+// roundTrip serializes src's stream state and loads it into dst.
+func roundTrip(t *testing.T, src, dst StatefulStream) error {
+	t.Helper()
+	w := ckpt.NewWriter()
+	src.SaveState(w.Section("s"))
+	r, err := ckpt.NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r.Section("s")
+	if !ok {
+		t.Fatal("section lost in round trip")
+	}
+	return dst.LoadState(d)
+}
+
+// drain pulls n accesses, so stream cursors sit mid-sequence (and mid-wrap,
+// when n exceeds a trace's length).
+func drain(s Stream, n int) {
+	for i := 0; i < n; i++ {
+		s.Next()
+	}
+}
+
+func sameTail(t *testing.T, a, b Stream, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("access %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestSpecStreamStateRoundTrip(t *testing.T) {
+	spec, ok := ByName("mcf")
+	if !ok {
+		t.Fatal("mcf spec missing")
+	}
+	src := NewStream(spec, CoreBase(0), 42).(StatefulStream)
+	drain(src, 1234)
+	dst := NewStream(spec, CoreBase(0), 42).(StatefulStream)
+	if err := roundTrip(t, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	sameTail(t, src, dst, 2000)
+}
+
+func TestTraceStreamStateRoundTrip(t *testing.T) {
+	spec, _ := ByName("libquantum")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, NewStream(spec, CoreBase(0), 1), 512); err != nil {
+		t.Fatal(err)
+	}
+	open := func() *TraceStream {
+		ts, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+
+	// Cursor past one full wrap: position 700 in a 512-entry trace.
+	src := open()
+	drain(src, 700)
+	dst := open()
+	if err := roundTrip(t, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	sameTail(t, src, dst, 1024)
+
+	// A trace of a different length must refuse the state outright rather
+	// than resume at a meaningless cursor.
+	short := open().Rebase(CoreBase(1))
+	shorter, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shorter.accs = shorter.accs[:100]
+	if err := roundTrip(t, short, shorter); err == nil {
+		t.Fatal("load into a different-length trace should fail")
+	}
+}
