@@ -104,20 +104,20 @@ pool-debug:
 # section. bench-figures is the full figure-regeneration benchmark suite.
 bench:
 	$(GO) test -bench='EngineEvent|CacheLookup|DRAMStream|WorkloadGen|EndToEndQuickRun|EndToEndCheckpointResume|Replicate6' \
-		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json \
-		-note "warmup checkpoint/fast-forward + SMARTS interval sampling"
+		-benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR9.json \
+		-note "decision introspection: per-window cost-model records + optimality-gap audit"
 
-# bench-gate enforces that the checkpoint/sampling machinery stays off the
-# full-run hot path: the recorded BENCH_PR8.json must not regress against
-# the PR7 baseline by more than benchcmp's 10% tolerance in ns/op or
-# allocs/op. The gate matches the end-to-end benchmarks only: the
+# bench-gate enforces that the decision-recording machinery stays off the
+# hot path when disabled: the recorded BENCH_PR9.json must not regress
+# against the PR8 baseline by more than benchcmp's 10% tolerance in ns/op
+# or allocs/op. The gate matches the end-to-end benchmarks only: the
 # sub-microsecond substrate benches were recorded in a different session
 # and track machine state (frequency scaling, co-tenant load) more than
 # code, so cross-session comparison of them gates on noise. Re-record the
 # HEAD report with `make bench` after intentional changes.
 bench-gate:
 	$(GO) run ./cmd/benchcmp -match 'EndToEndQuickRun|Replicate' \
-		BENCH_PR7.json BENCH_PR8.json
+		BENCH_PR8.json BENCH_PR9.json
 
 bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -52,8 +52,9 @@ func main() {
 		replic  = flag.Int("replicate", 0, "run N replicas over seeds 0..N-1 and report mean/std aggregate IPC")
 		jobs    = flag.Int("j", 0, "max concurrent replica simulations (0 = GOMAXPROCS, 1 = serial)")
 
-		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON of L3-miss lifecycles to this file (load in Perfetto)")
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON of L3-miss lifecycles to this file (load in Perfetto); with -decisions, per-window gap/fraction counter tracks are merged in")
 		traceSample  = flag.Int("trace-sample", 0, "trace every Nth L3 miss (0 = tracer default of 1)")
+		decisionsOut = flag.String("decisions", "", "record per-window DAP decisions (window counts, K, credit refills, access fractions, optimality gap) and write them to this file (.jsonl/.json = JSON Lines, else CSV)")
 		metricsEvery = flag.Uint64("metrics-every", 0, "sample windowed metrics every N cycles (0 = off)")
 		metricsOut   = flag.String("metrics-out", "", "write the sampled metric series as CSV to this file (default stdout when sampling)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -138,6 +139,7 @@ func main() {
 	cfg.TraceSample = *traceSample
 	cfg.MetricsEvery = mem.Cycle(*metricsEvery)
 	cfg.Sampled = *sampled
+	cfg.Decisions = *decisionsOut != ""
 
 	var ckpts *dap.WarmupCheckpoints
 	if *ckptDir != "" {
@@ -197,9 +199,9 @@ func main() {
 
 	// One-line effective configuration so a pasted log is self-describing.
 	header := fmt.Sprintf(
-		"dapsim %s: arch=%s policy=%s cores=%d instr=%d warm=%d seed=%d dap-window=%d trace=%v metrics-every=%d sampled=%v",
+		"dapsim %s: arch=%s policy=%s cores=%d instr=%d warm=%d seed=%d dap-window=%d trace=%v metrics-every=%d sampled=%v decisions=%v",
 		mix.Name, *arch, *policy, *cores, cfg.MeasureInstr, cfg.WarmAccesses,
-		*seed, dap.EffectiveDAPWindow(cfg), cfg.Trace, cfg.MetricsEvery, cfg.Sampled)
+		*seed, dap.EffectiveDAPWindow(cfg), cfg.Trace, cfg.MetricsEvery, cfg.Sampled, cfg.Decisions)
 	if !*asJSON {
 		fmt.Println(header)
 	}
@@ -226,7 +228,8 @@ func main() {
 		fatalIf(pprof.WriteHeapProfile(f))
 		fatalIf(f.Close())
 	}
-	writeArtifacts(r, *tracePath, *metricsOut, *asJSON, exportStamp(cfg, mix.Name, *seed))
+	writeArtifacts(r, *tracePath, *metricsOut, *decisionsOut, *asJSON,
+		exportStamp(cfg, mix.Name, *seed, *ckptDir))
 	if ckpts != nil && !*asJSON {
 		cs := ckpts.Stats()
 		fmt.Printf("warmup checkpoint: built %d, disk hits %d, load failures %d\n",
@@ -271,28 +274,51 @@ func runSweepService(addr, dir string, workers int, logger *slog.Logger) {
 }
 
 // exportStamp renders the self-describing provenance header stamped onto
-// metrics exports: workload, seed, configuration fingerprint, build version.
-// A file carrying this line can always be traced back to the exact run that
-// produced it.
-func exportStamp(cfg dap.Config, mixName string, seed uint64) string {
-	return fmt.Sprintf("mix=%s seed=%d fingerprint=%s version=%s",
-		mixName, seed, dap.ConfigFingerprint(cfg), dap.BuildVersion())
+// metrics and decision exports: workload, seed, configuration fingerprint,
+// build version, plus the run-acceleration knobs (warmup-checkpoint reuse
+// and interval sampling) that decide whether the rows are bit-exact full-run
+// values or checkpoint-resumed/sampled estimates. A file carrying this line
+// can always be reproduced from its header alone.
+func exportStamp(cfg dap.Config, mixName string, seed uint64, ckptDir string) string {
+	return fmt.Sprintf("mix=%s seed=%d fingerprint=%s version=%s ckpt=%v ckpt-dir=%q sampled=%v",
+		mixName, seed, dap.ConfigFingerprint(cfg), dap.BuildVersion(),
+		ckptDir != "", ckptDir, cfg.Sampled)
 }
 
 // writeArtifacts persists the observability outputs: the Chrome trace JSON
-// and the sampled metric series (to a file, or to stdout in text mode when
-// no -metrics-out was given). A `.jsonl`/`.json` suffix selects JSON Lines —
-// with the provenance stamp as a leading {"header": ...} object — over CSV,
-// which carries the stamp as a leading `# ...` comment line.
-func writeArtifacts(r dap.Result, tracePath, metricsOut string, asJSON bool, stamp string) {
+// (with decision counter tracks merged in when recording was on), the
+// per-window decision records, and the sampled metric series (to a file, or
+// to stdout in text mode when no -metrics-out was given). A `.jsonl`/`.json`
+// suffix selects JSON Lines — with the provenance stamp as a leading
+// {"header": ...} object — over CSV, which carries the stamp as a leading
+// `# ...` comment line.
+func writeArtifacts(r dap.Result, tracePath, metricsOut, decisionsOut string, asJSON bool, stamp string) {
 	if tracePath != "" && r.Trace != nil {
 		f, err := os.Create(tracePath)
 		fatalIf(err)
-		fatalIf(r.Trace.WriteChromeTrace(f))
+		fatalIf(r.WriteTrace(f))
 		fatalIf(f.Close())
 		if !asJSON {
 			fmt.Printf("trace: %d spans -> %s (dropped %d)\n",
 				len(r.Trace.Spans()), tracePath, r.Trace.Dropped())
+		}
+	}
+	if decisionsOut != "" && r.Decisions != nil {
+		f, err := os.Create(decisionsOut)
+		fatalIf(err)
+		if strings.HasSuffix(decisionsOut, ".jsonl") || strings.HasSuffix(decisionsOut, ".json") {
+			hdr, err := json.Marshal(stamp)
+			fatalIf(err)
+			fmt.Fprintf(f, "{\"header\":%s}\n", hdr)
+			fatalIf(r.Decisions.WriteJSONL(f))
+		} else {
+			fmt.Fprintf(f, "# %s\n", stamp)
+			fatalIf(r.Decisions.WriteCSV(f))
+		}
+		fatalIf(f.Close())
+		if !asJSON {
+			fmt.Printf("decisions: %d windows, %d policy events -> %s (evicted %d)\n",
+				len(r.Decisions.Records()), len(r.Decisions.Events()), decisionsOut, r.Decisions.Evicted())
 		}
 	}
 	if r.Metrics == nil {

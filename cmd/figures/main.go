@@ -43,16 +43,18 @@ var experiments = []experiment{
 	{"fig13", dap.Fig13},
 	{"fig14", dap.Fig14},
 	{"fig15", dap.Fig15},
+	{"figgap", dap.FigGap},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "shortened runs")
-	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1)")
+	only := flag.String("only", "", "comma-separated experiment keys (fig1..fig15, tab1, figgap)")
 	chart := flag.Bool("chart", false, "also render each figure's first series as an ASCII bar chart")
 	jobs := flag.Int("j", 0, "max concurrent simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
 	useCkpt := flag.Bool("ckpt", false, "share warmup checkpoints across each figure's variants (bit-identical output, warmup runs once per mix)")
 	ckptDir := flag.String("ckpt-dir", "", "persist warmup checkpoints under this directory so reruns skip warmup entirely (implies -ckpt)")
 	sampled := flag.Bool("sampled", false, "SMARTS interval sampling: estimate each figure point from measured intervals with 95% CIs instead of the full timed region (fast, approximate)")
+	decisions := flag.Bool("decisions", false, "record per-window DAP decisions (optimality gap, fractions) on every driver run; the series are served at /runs/{id}/decisions while -serve is up")
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /runs, dashboard) on this address while the sweep runs; keeps serving after it until interrupted")
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
-	opts := dap.Options{Quick: *quick, Parallel: *jobs, Sampled: *sampled}
+	opts := dap.Options{Quick: *quick, Parallel: *jobs, Sampled: *sampled, Decisions: *decisions}
 	if *ckptDir != "" {
 		ck, err := dap.NewWarmupCheckpoints(*ckptDir)
 		if err != nil {
@@ -106,7 +108,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "figures: nothing matched -only; keys are fig1,fig2,fig4..fig15,tab1")
+		fmt.Fprintln(os.Stderr, "figures: nothing matched -only; keys are fig1,fig2,fig4..fig15,tab1,figgap")
 		os.Exit(1)
 	}
 	if opts.Ckpt != nil {

@@ -273,7 +273,27 @@ var (
 	// FigBreakdown is an observability-layer driver (not a paper figure):
 	// traced L3-miss phase latencies by serving source.
 	FigBreakdown = harness.FigBreakdown
+	// FigGap is the decision-introspection driver (not a paper figure):
+	// per-window optimality-gap statistics (mean and CDF quantiles) of DAP
+	// decisions on one bandwidth-sensitive mix per architecture.
+	FigGap = harness.FigGap
 )
+
+// DecisionRecorder collects the per-window partitioner decision records and
+// baseline policy events found on Result.Decisions when Config.Decisions is
+// set; export with WriteCSV/WriteJSONL or merge its counter tracks into the
+// Chrome trace via Result.WriteTrace.
+type DecisionRecorder = core.DecisionRecorder
+
+// DecisionRecord is one window of partitioner introspection: solver inputs
+// (window counts, K ratio), outputs (credit refills), the implied access
+// fractions, and the counterfactual optimality-gap audit against the
+// Equation 3 bound.
+type DecisionRecord = core.DecisionRecord
+
+// PolicyEvent is the baseline policies' (SBD, BATMAN) introspection record,
+// captured at their own adjustment points into the same decision stream.
+type PolicyEvent = core.PolicyEvent
 
 // DeliveredBandwidth evaluates the paper's Equation 2 and OptimalFractions
 // Equation 3/4: how bandwidth is delivered by n parallel sources and how

@@ -205,6 +205,10 @@ type DAP struct {
 
 	dec stats.DAPDecisions
 
+	// rec, when non-nil, captures a DecisionRecord at every window
+	// rollover (strict observer; see decision.go).
+	rec *DecisionRecorder
+
 	// Windows counts recomputations; Partitioned counts windows where any
 	// partitioning was invoked (useful in tests and for insensitive
 	// workloads, where this should be near zero).
@@ -402,6 +406,10 @@ func (d *DAP) window() {
 		d.solveAlloy(&w)
 	default:
 		d.solveSectored(&w)
+	}
+
+	if d.rec != nil {
+		d.recordDecision(&w)
 	}
 }
 

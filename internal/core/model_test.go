@@ -131,3 +131,41 @@ func TestApproxRatioBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestApproxRatioMaxDenClamp(t *testing.T) {
+	// A non-positive denominator bound clamps to 1: integer rounding only.
+	for _, d := range []int64{0, -5} {
+		r := ApproxRatio(8.0/3.0, d)
+		if r.Num != 3 || r.Den != 1 {
+			t.Fatalf("maxDen=%d: got %d/%d, want 3/1", d, r.Num, r.Den)
+		}
+	}
+}
+
+func TestApproxRatioRoundingTies(t *testing.T) {
+	// Numerators round half-up: 2.5 becomes 3/1, not 2/1.
+	if r := ApproxRatio(2.5, 1); r.Num != 3 || r.Den != 1 {
+		t.Fatalf("half-up: got %d/%d, want 3/1", r.Num, r.Den)
+	}
+	// 1.25 with maxDen=2 has equal error at 1/1 (-0.25) and 3/2 (+0.25);
+	// the strict < comparison keeps the first, cheaper denominator.
+	if r := ApproxRatio(1.25, 2); r.Num != 1 || r.Den != 1 {
+		t.Fatalf("tie: got %d/%d, want 1/1", r.Num, r.Den)
+	}
+	// Widening the bound to 4 makes 5/4 exact and must win the tie break.
+	if r := ApproxRatio(1.25, 4); r.Num != 5 || r.Den != 4 {
+		t.Fatalf("exact: got %d/%d, want 5/4", r.Num, r.Den)
+	}
+}
+
+func TestDeliveredBandwidthZeroSourceAmongMany(t *testing.T) {
+	// Any positive fraction routed at a dead source stalls the whole stream
+	// (Equation 2's bottleneck max); rerouting it restores the live source.
+	b := []float64{102.4, 0}
+	if got := DeliveredBandwidth(b, []float64{0.73, 0.27}); got != 0 {
+		t.Fatalf("dead source with traffic = %v, want 0", got)
+	}
+	if got := DeliveredBandwidth(b, []float64{1, 0}); got != 102.4 {
+		t.Fatalf("all to the live source = %v, want 102.4", got)
+	}
+}

@@ -19,7 +19,7 @@ var allDrivers = []struct {
 	{"AblSFRMReserve", AblationSFRMReserve}, {"AblTechniques", AblationTechniques},
 	{"AblLearning", AblationLearning}, {"AblThreadAware", AblationThreadAware},
 	{"AblReplacement", AblationReplacement}, {"AblFootprint", AblationFootprint},
-	{"FigBreakdown", FigBreakdown},
+	{"FigBreakdown", FigBreakdown}, {"FigGap", FigGap},
 }
 
 // determinismSubset is the representative slice of allDrivers the default

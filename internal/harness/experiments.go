@@ -39,6 +39,12 @@ type Options struct {
 	// figure must be bit-exact.
 	Sampled bool
 
+	// Decisions switches every driver simulation to partitioner decision
+	// recording (Config.Decisions): each run then carries its per-window
+	// optimality-gap series in Result.Decisions. Read-only, bit-identity
+	// preserving; FigGap forces it on regardless of this flag.
+	Decisions bool
+
 	// tiny shrinks runs far below Quick so in-package tests can afford to
 	// execute whole drivers repeatedly (e.g. the parallel-vs-serial
 	// determinism sweep). Deliberately unexported: figures produced at this
@@ -68,6 +74,7 @@ func (o Options) base() Config {
 		c = Default()
 	}
 	c.Sampled = o.Sampled
+	c.Decisions = o.Decisions
 	return c
 }
 

@@ -13,6 +13,14 @@ func (s *System) registerMetrics() {
 	if s.dap != nil {
 		s.dap.RegisterMetrics(m)
 	}
+	if rec := s.decRec; rec != nil && s.dap != nil {
+		m.Gauge("dap.gap", func() float64 {
+			if last := rec.Last(); last != nil {
+				return last.Gap
+			}
+			return 0
+		})
+	}
 	s.MM.RegisterMetrics(m, "mm")
 	switch {
 	case s.sectored != nil:

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -163,5 +164,61 @@ func TestServeSSEStreamDeliversWindows(t *testing.T) {
 	}
 	if done == 0 {
 		t.Error("no done event")
+	}
+}
+
+// TestServeDecisionsEndpoint runs a decision-recorded simulation and reads
+// its per-window series back over real HTTP: /runs/{id}/decisions must carry
+// the source names and a non-empty gap series matching the run's recorder.
+func TestServeDecisionsEndpoint(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.CPU.Cores = 2
+	cfg.Decisions = true
+	mix := traceableMix(2)
+
+	srv := httptest.NewServer(telemetry.NewServer(telemetry.Default, telemetry.Runs).Handler())
+	defer srv.Close()
+
+	r := RunMix(cfg, mix)
+	if r.Abort != nil {
+		t.Fatalf("aborted: %v", r.Abort)
+	}
+	recs := r.Decisions.Records()
+	if len(recs) == 0 {
+		t.Fatal("run recorded no decisions")
+	}
+
+	snaps := telemetry.Runs.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no runs tracked")
+	}
+	id := snaps[0].ID
+
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%d/decisions", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var snap telemetry.DecisionsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total != uint64(len(recs)) {
+		t.Errorf("published %d decisions, recorder holds %d", snap.Total, len(recs))
+	}
+	if len(snap.Series) == 0 {
+		t.Fatal("empty decision series")
+	}
+	if !reflect.DeepEqual(snap.Sources, r.Decisions.SourceNames()) {
+		t.Errorf("sources = %v, want %v", snap.Sources, r.Decisions.SourceNames())
+	}
+	last := snap.Series[len(snap.Series)-1]
+	want := recs[len(recs)-1]
+	if last.Window != want.Window || last.Gap != want.Gap {
+		t.Errorf("last wire record (w=%d gap=%v) != recorder (w=%d gap=%v)",
+			last.Window, last.Gap, want.Window, want.Gap)
 	}
 }

@@ -158,6 +158,19 @@ type Config struct {
 	// FlightCap bounds the ring in entries (0 = 192; oldest evicted first).
 	FlightCap int
 
+	// Decisions enables the partitioner decision recorder: every DAP window
+	// rollover captures a versioned record of the solver's inputs (window
+	// counts, K), outputs (credit refills), the implied per-source access
+	// fractions, and a counterfactual optimality-gap audit against the
+	// Equation 3 bound; baseline policies (SBD, BATMAN) log their own
+	// adjustment events into the same stream. Collected in
+	// Result.Decisions. Strictly read-only: recording leaves stats.Run
+	// bit-identical (TestDecisionRecordingIsBitIdentical).
+	Decisions bool
+	// DecisionsCap bounds the decision ring in records (0 = 65536; oldest
+	// evicted first).
+	DecisionsCap int
+
 	// Sampled enables SMARTS-style interval sampling: instead of one long
 	// timed region, the run alternates functional fast-forward with short
 	// measured intervals and reports per-metric means with measured 95%
@@ -238,6 +251,11 @@ type Result struct {
 	// Flight holds the stall flight recording (nil unless Config.Flight).
 	// On an aborted run, freeze it with Flight.Dump for the postmortem.
 	Flight *obs.FlightRecorder
+	// Decisions holds the per-window partitioner decision records and
+	// baseline policy events (nil unless Config.Decisions). Export with
+	// Decisions.WriteCSV/WriteJSONL, or WriteTrace to merge its counter
+	// tracks into the Chrome trace.
+	Decisions *core.DecisionRecorder
 	// Sampling reports the interval-sampling estimator when the run executed
 	// in Sampled mode: interval count, convergence, and 95% confidence
 	// intervals for the headline metrics. It is nil for full runs; on a
@@ -300,6 +318,7 @@ type System struct {
 	Metrics *obs.Sampler
 	Trace   *obs.Tracer
 	Flight  *obs.FlightRecorder
+	decRec  *core.DecisionRecorder
 
 	dap      *core.DAP
 	sectored *mscache.Sectored
@@ -403,6 +422,17 @@ func Build(cfg Config, mix workload.Mix) *System {
 	if cfg.Trace {
 		s.Trace = obs.NewTracer(s.Eng.Clock(), cfg.TraceSample, cfg.TraceCap)
 		s.setTracer(s.Trace)
+	}
+	if cfg.Decisions {
+		// Wired before the sampler so registerMetrics can export the live
+		// optimality gap as a dap.gap probe.
+		s.decRec = core.NewDecisionRecorder(cfg.DecisionsCap)
+		if s.dap != nil {
+			s.dap.SetRecorder(s.decRec)
+		}
+		if s.sectored != nil {
+			s.sectored.SetDecisionRecorder(s.decRec)
+		}
 	}
 	if cfg.MetricsEvery > 0 {
 		s.Metrics = obs.NewSampler(s.Eng.Clock(), s.Eng.After, s.Eng.Pending,
@@ -526,6 +556,17 @@ func (s *System) Measure() Result {
 			run.Publish(uint64(w.Cycle), w.Values)
 		})
 	}
+	if s.decRec != nil {
+		run.SetDecisionSources(s.decRec.SourceNames())
+		// Replay the warmup-phase backlog before subscribing so the served
+		// series covers the same windows the recorder holds.
+		for _, rec := range s.decRec.Records() {
+			run.PublishDecision(telemetryDecision(rec))
+		}
+		s.decRec.OnRecord(func(rec core.DecisionRecord) {
+			run.PublishDecision(telemetryDecision(rec))
+		})
+	}
 
 	s.CPU.Start(cfg.MeasureInstr)
 	if s.Metrics != nil {
@@ -583,6 +624,7 @@ func (s *System) Measure() Result {
 		}
 		r.Flight = s.Flight
 	}
+	r.Decisions = s.decRec
 	r.Cycles = s.Eng.Now() - start
 	r.Cores = s.CPU.CoreStats()
 	r.MemSide = *s.Ctrl.MSStats()

@@ -78,5 +78,9 @@ func (c *Config) Validate() error {
 	if (c.FlightEvery > 0 || c.FlightCap > 0) && !c.Flight {
 		errs.Addf("FlightEvery", c.FlightEvery, "flight knobs set without Flight: the recorder would never run")
 	}
+	errs.NonNegative("DecisionsCap", c.DecisionsCap)
+	if c.DecisionsCap > 0 && !c.Decisions {
+		errs.Addf("DecisionsCap", c.DecisionsCap, "set without Decisions: the recorder would never run")
+	}
 	return errs.Err()
 }

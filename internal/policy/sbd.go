@@ -37,6 +37,12 @@ type SBD struct {
 	// decay bookkeeping
 	writes uint64
 
+	// OnDecay, when non-nil, is invoked after each periodic counter decay
+	// (the policy's own adjustment point) so observers can snapshot
+	// steering state without polling. Strict observer: the callback runs
+	// after the decay completes and must not mutate the policy.
+	OnDecay func()
+
 	// Stats
 	SteeredMM  uint64
 	Promotions uint64
@@ -144,7 +150,13 @@ func (s *SBD) decay() {
 	for p := range s.dirty {
 		s.dirty[p] >>= 1
 	}
+	if s.OnDecay != nil {
+		s.OnDecay()
+	}
 }
+
+// DirtyPages returns the current Dirty List occupancy.
+func (s *SBD) DirtyPages() int { return len(s.dirty) }
 
 // NoteReadOutcome trains the hit predictor.
 func (s *SBD) NoteReadOutcome(hit bool) {

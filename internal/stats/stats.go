@@ -213,6 +213,29 @@ func SortedCopy(vs []float64) []float64 {
 	return out
 }
 
+// Quantile returns the q-th quantile (0 <= q <= 1) of vs using linear
+// interpolation between order statistics; 0 for an empty slice. Used by the
+// optimality-gap CDF tables.
+func Quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := SortedCopy(vs)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
 // Row formats a labelled metric line for harness tables.
 func Row(label string, vals ...float64) string {
 	s := fmt.Sprintf("%-22s", label)

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestDecisionRingAndEndpoint covers the decision series surface: the
+// bounded ring keeps the newest ringCap records in publish order, the
+// total keeps counting past eviction, and /runs/{id}/decisions serves the
+// snapshot as JSON.
+func TestDecisionRingAndEndpoint(t *testing.T) {
+	_, runs, ts := newTestService()
+	defer ts.Close()
+
+	run := runs.Start(RunInfo{Mix: "mcf", Policy: "dap"})
+	run.SetDecisionSources([]string{"ms", "mm"})
+	n := ringCap + 7
+	for i := 0; i < n; i++ {
+		run.PublishDecision(Decision{
+			Cycle:       uint64(64 * (i + 1)),
+			Window:      uint64(i + 1),
+			Gap:         float64(i) / float64(n),
+			Fractions:   []float64{0.8, 0.2},
+			OptimalFrac: []float64{0.73, 0.27},
+			Partitioned: i%2 == 0,
+		})
+	}
+
+	snap := run.Decisions()
+	if snap.Total != uint64(n) {
+		t.Errorf("total = %d, want %d", snap.Total, n)
+	}
+	if len(snap.Series) != ringCap {
+		t.Fatalf("ring kept %d records, want %d", len(snap.Series), ringCap)
+	}
+	if got := snap.Series[0].Window; got != uint64(n-ringCap+1) {
+		t.Errorf("oldest retained window = %d, want %d", got, n-ringCap+1)
+	}
+	if got := snap.Series[len(snap.Series)-1].Window; got != uint64(n) {
+		t.Errorf("newest retained window = %d, want %d", got, n)
+	}
+	if len(snap.Sources) != 2 || snap.Sources[0] != "ms" {
+		t.Errorf("sources = %v", snap.Sources)
+	}
+
+	var wire DecisionsSnapshot
+	getJSON(t, ts.URL+fmt.Sprintf("/runs/%d/decisions", run.ID), &wire)
+	if wire.ID != run.ID || wire.Total != uint64(n) || len(wire.Series) != ringCap {
+		t.Fatalf("wire snapshot: id=%d total=%d len=%d", wire.ID, wire.Total, len(wire.Series))
+	}
+	last := wire.Series[len(wire.Series)-1]
+	if last.Window != uint64(n) || len(last.Fractions) != 2 {
+		t.Fatalf("wire last record: %+v", last)
+	}
+
+	// A run that never recorded decisions serves an empty series, not 404.
+	quiet := runs.Start(RunInfo{Mix: "lbm"})
+	var empty DecisionsSnapshot
+	getJSON(t, ts.URL+fmt.Sprintf("/runs/%d/decisions", quiet.ID), &empty)
+	if empty.Total != 0 || len(empty.Series) != 0 {
+		t.Fatalf("quiet run snapshot: %+v", empty)
+	}
+
+	// Unknown run -> 404.
+	if resp, _ := http.Get(ts.URL + "/runs/9999/decisions"); resp.StatusCode != 404 {
+		t.Errorf("missing run: status %d", resp.StatusCode)
+	}
+}

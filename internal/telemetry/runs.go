@@ -35,6 +35,25 @@ type Window struct {
 	Values []float64 `json:"values"`
 }
 
+// Decision is one published partitioner decision: the per-window solver
+// output and its optimality-gap audit, converted by the harness from the
+// core recorder's record (telemetry stays import-free of the simulator).
+type Decision struct {
+	Cycle       uint64    `json:"cycle"`
+	Window      uint64    `json:"window"`
+	Gap         float64   `json:"gap"`
+	Delivered   float64   `json:"delivered_gbps"`
+	Optimal     float64   `json:"optimal_gbps"`
+	Fractions   []float64 `json:"fractions"`
+	OptimalFrac []float64 `json:"optimal_fractions"`
+	FWB         int64     `json:"fwb"`
+	WB          int64     `json:"wb"`
+	IFRM        int64     `json:"ifrm"`
+	SFRM        int64     `json:"sfrm"`
+	WT          int64     `json:"wt"`
+	Partitioned bool      `json:"partitioned"`
+}
+
 // RunInfo is the immutable identity of a registered run.
 type RunInfo struct {
 	Mix         string `json:"mix"`
@@ -76,6 +95,12 @@ type Run struct {
 	finished time.Time
 	abortMsg string
 	summary  map[string]float64
+
+	decSources []string
+	decRing    []Decision
+	decHead    int
+	decN       int
+	decTotal   uint64
 }
 
 // ringCap bounds each run's retained window history (the SSE catch-up
@@ -137,6 +162,60 @@ func (r *Run) Publish(cycle uint64, vals []float64) {
 		}
 	}
 	r.mu.Unlock()
+}
+
+// SetDecisionSources names the bandwidth sources decision fraction vectors
+// are ordered by. Call before the first PublishDecision.
+func (r *Run) SetDecisionSources(names []string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.decSources = append([]string(nil), names...)
+	r.mu.Unlock()
+}
+
+// PublishDecision records one partitioner decision into the run's bounded
+// decision ring (oldest evicted), mirroring Publish's observer contract: it
+// copies values under the run mutex and never reads simulated state.
+func (r *Run) PublishDecision(d Decision) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.decRing) < ringCap {
+		r.decRing = append(r.decRing, d)
+		r.decN++
+	} else {
+		r.decRing[r.decHead] = d
+		r.decHead = (r.decHead + 1) % ringCap
+	}
+	r.decTotal++
+	r.mu.Unlock()
+}
+
+// DecisionsSnapshot is the JSON view served by /runs/{id}/decisions.
+type DecisionsSnapshot struct {
+	ID      int64      `json:"id"`
+	Sources []string   `json:"sources"`
+	Total   uint64     `json:"total"`
+	Series  []Decision `json:"series"`
+}
+
+// Decisions returns the retained decision series (oldest first) plus the
+// source names and total published count.
+func (r *Run) Decisions() DecisionsSnapshot {
+	if r == nil {
+		return DecisionsSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := DecisionsSnapshot{ID: r.ID, Sources: r.decSources, Total: r.decTotal}
+	s.Series = make([]Decision, 0, r.decN)
+	for i := 0; i < r.decN; i++ {
+		s.Series = append(s.Series, r.decRing[(r.decHead+i)%ringCap])
+	}
+	return s
 }
 
 // Latest returns the most recent published window (nil before the first).

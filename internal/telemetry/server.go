@@ -96,6 +96,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/decisions", s.handleDecisions)
 	mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -247,6 +248,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, run.snapshot(true))
+}
+
+// handleDecisions serves the run's retained partitioner decision series:
+// the per-window optimality gap, access fractions and credit refills the
+// harness published while the run executed (empty when the run was not
+// started with decision recording).
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	run := s.runFromPath(w, r)
+	if run == nil {
+		return
+	}
+	writeJSON(w, run.Decisions())
 }
 
 // sseHeartbeatEvery is the idle-stream keepalive period: a comment line is
