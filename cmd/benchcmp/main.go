@@ -1,8 +1,8 @@
 // Command benchcmp compares two BENCH_*.json reports (the machine-readable
 // output of cmd/benchjson) and acts as the regression gate of the bench
 // workflow: it prints a per-benchmark delta table and exits non-zero when
-// any shared benchmark regressed by more than the threshold in ns/op or
-// allocs/op.
+// any shared benchmark regressed by more than the threshold in ns/op,
+// bytes/op or allocs/op.
 //
 //	go run ./cmd/benchcmp BENCH_BASE.json BENCH_HEAD.json
 //	go run ./cmd/benchcmp -threshold 5 old.json new.json
@@ -57,7 +57,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	threshold := fs.Float64("threshold", 10, "regression gate in percent: fail when ns/op or allocs/op grows by more than this")
+	threshold := fs.Float64("threshold", 10, "regression gate in percent: fail when ns/op, bytes/op or allocs/op grows by more than this")
 	match := fs.String("match", "", "regexp restricting the gate to matching benchmark names (empty = all)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: benchcmp [-threshold pct] [-match regexp] BASE.json HEAD.json\n")
@@ -105,13 +105,13 @@ func compare(base, head report, basePath, headPath string, threshold float64, ma
 	}
 
 	if match != nil {
-		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op, match %q)\n\n",
+		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op, bytes/op or allocs/op, match %q)\n\n",
 			basePath, headPath, threshold, match.String())
 	} else {
-		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op or allocs/op)\n\n",
+		fmt.Fprintf(stdout, "benchcmp: %s vs %s (gate: +%.0f%% ns/op, bytes/op or allocs/op)\n\n",
 			basePath, headPath, threshold)
 	}
-	fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "Δns/op", "Δallocs")
+	fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "Δns/op", "Δbytes", "Δallocs")
 
 	regressions := 0
 	for _, b := range base.Benchmarks { // base order keeps the table stable
@@ -123,26 +123,27 @@ func compare(base, head report, basePath, headPath string, threshold float64, ma
 			// Present in base, gone in head: hard failure. A benchmark that
 			// silently disappears (renamed, deleted, build-tagged away) would
 			// otherwise let any regression in it sail through the gate.
-			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  MISSING\n", b.Name, fmtNs(b.NsPerOp), "-", "-", "-")
+			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s %9s  MISSING\n", b.Name, fmtNs(b.NsPerOp), "-", "-", "-", "-")
 			regressions++
 			continue
 		}
 		dns := pctDelta(b.NsPerOp, h.NsPerOp)
+		dbytes := pctDelta(b.BytesPerOp, h.BytesPerOp)
 		dallocs := pctDelta(b.AllocsPerOp, h.AllocsPerOp)
 		mark := ""
-		if dns > threshold || dallocs > threshold {
+		if dns > threshold || dbytes > threshold || dallocs > threshold {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s%s\n",
-			b.Name, fmtNs(b.NsPerOp), fmtNs(h.NsPerOp), fmtPct(dns), fmtPct(dallocs), mark)
+		fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s %9s%s\n",
+			b.Name, fmtNs(b.NsPerOp), fmtNs(h.NsPerOp), fmtPct(dns), fmtPct(dbytes), fmtPct(dallocs), mark)
 	}
 	for _, h := range head.Benchmarks {
 		if match != nil && !match.MatchString(h.Name) {
 			continue
 		}
 		if _, ok := baseBy[h.Name]; !ok {
-			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s  (new)\n", h.Name, "-", fmtNs(h.NsPerOp), "-", "-")
+			fmt.Fprintf(stdout, "%-44s %14s %14s %9s %9s %9s  (new)\n", h.Name, "-", fmtNs(h.NsPerOp), "-", "-", "-")
 		}
 	}
 

@@ -54,6 +54,35 @@ func TestWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+// TestBytesPerOpGate: a benchmark whose bytes/op doubled must fail the gate
+// even though its ns/op and allocs/op stayed within threshold — memory-
+// footprint regressions gate on their own axis.
+func TestBytesPerOpGate(t *testing.T) {
+	code, stdout, stderr := runFixture(t,
+		filepath.Join("testdata", "base.json"), filepath.Join("testdata", "head_bytes_regressed.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "1 benchmark(s) regressed beyond 10% or missing") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	var lookupLine string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.Contains(line, "BenchmarkCacheLookup") {
+			lookupLine = line
+		}
+	}
+	if !strings.Contains(lookupLine, "REGRESSION") || !strings.Contains(lookupLine, "+100.0%") {
+		t.Errorf("CacheLookup line does not flag the bytes/op doubling: %q", lookupLine)
+	}
+	// Benchmarks without bytes_per_op in either report must not be flagged.
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.Contains(line, "BenchmarkEngineEventLoop") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("EngineEventLoop wrongly flagged: %s", line)
+		}
+	}
+}
+
 // TestMissingBenchmarkIsHardFailure: a head report that lacks a baseline
 // benchmark must fail the gate even when every shared benchmark is within
 // threshold — a vanished benchmark silently passing was the old behavior

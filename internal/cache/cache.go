@@ -4,6 +4,16 @@
 //
 // The caches are tag-only (the simulator never moves real data); each line
 // carries a small state word that callers interpret.
+//
+// Layout: the tag array is structure-of-arrays. The probe-critical word per
+// line is tv = tag<<1 | valid, so a probe is a single 64-bit compare per way
+// over a contiguous way group (an invalid line holds 0 and can never equal
+// tag<<1|1). Replacement metadata lives in a second packed word — dirty,
+// NRU bit and SRRIP RRPV in the low byte, the 32-bit LRU stamp in the high
+// half — touched only on hits and installs. The rarely-used payloads
+// (caller state word, sector valid/dirty masks) live in side arrays that are
+// allocated lazily on first nonzero write, so ordinary caches never pay for
+// them in memory, checkpoint bytes, or probe bandwidth.
 package cache
 
 import "dap/internal/mem"
@@ -19,7 +29,18 @@ const (
 	Rand             // pseudo-random victim
 )
 
-// Line is one tag entry.
+// meta word layout.
+const (
+	metaDirty = 1 << 0
+	metaNRU   = 1 << 1
+	rrpvShift = 2
+	rrpvMask  = 3 << rrpvShift
+	rrpvOne   = 1 << rrpvShift
+	lruShift  = 32
+)
+
+// Line is a value snapshot of one tag entry, returned by Insert (the evicted
+// contents) and Invalidate. It is plain data, detached from the array.
 type Line struct {
 	Tag   uint64
 	Valid bool
@@ -27,9 +48,6 @@ type Line struct {
 	State uint32 // caller-defined payload
 	VMask uint64 // per-block valid bits (sector caches; 1 bit per 64 B block)
 	DMask uint64 // per-block dirty bits (sector caches)
-	lru   uint32
-	nru   bool  // true = recently used
-	rrpv  uint8 // SRRIP re-reference prediction value (0 = imminent)
 }
 
 // Stats counts hits and misses.
@@ -68,11 +86,20 @@ type Cache struct {
 	SetSkip uint64 // lines per indexing unit (1 for ordinary caches)
 	Stats   Stats
 
-	lines    []Line // Sets*Ways
-	tick     uint32
-	rng      uint64
-	setMask  uint64
-	setShift uint
+	tv   []uint64 // Sets*Ways: tag<<1 | valid
+	meta []uint64 // Sets*Ways: dirty | nru | rrpv<<2 | lru<<32
+
+	// Lazily allocated side arrays: nil until the first nonzero write.
+	state []uint32 // caller payload (Alloy reuse bit)
+	vmask []uint64 // sector valid masks
+	dmask []uint64 // sector dirty masks
+
+	tick      uint32
+	rng       uint64
+	setMask   uint64
+	setShift  uint
+	unitShift uint // LineShift + log2(SetSkip) when SetSkip is a power of two
+	skipPow2  bool
 }
 
 // New builds a cache with the given geometry. sets must be a power of two.
@@ -83,13 +110,21 @@ func New(sets, ways int, policy ReplPolicy, setSkip uint64) *Cache {
 	if setSkip == 0 {
 		setSkip = 1
 	}
-	return &Cache{
+	n := sets * ways
+	backing := make([]uint64, 2*n) // tv and meta carved from one block
+	c := &Cache{
 		Sets: sets, Ways: ways, Policy: policy, SetSkip: setSkip,
-		lines:    make([]Line, sets*ways),
+		tv:       backing[:n:n],
+		meta:     backing[n:],
 		rng:      0x9e3779b97f4a7c15,
 		setMask:  uint64(sets) - 1,
 		setShift: uint(log2(uint64(sets))),
 	}
+	if setSkip&(setSkip-1) == 0 {
+		c.skipPow2 = true
+		c.unitShift = mem.LineShift + uint(log2(setSkip))
+	}
+	return c
 }
 
 // NewBytes builds a conventional cache of the given capacity with 64 B
@@ -106,7 +141,12 @@ func NewBytes(capacity, ways int, policy ReplPolicy) *Cache {
 
 // Index returns the set index and tag for an address.
 func (c *Cache) Index(a mem.Addr) (set int, tag uint64) {
-	unit := uint64(a.Line()) / c.SetSkip
+	var unit uint64
+	if c.skipPow2 {
+		unit = uint64(a) >> c.unitShift
+	} else {
+		unit = uint64(a.Line()) / c.SetSkip
+	}
 	return int(unit & c.setMask), unit >> c.setShift
 }
 
@@ -119,143 +159,351 @@ func log2(v uint64) int {
 	return n
 }
 
-// set returns the ways of a set.
-func (c *Cache) set(si int) []Line { return c.lines[si*c.Ways : (si+1)*c.Ways] }
+// Ref is a handle to one line of the packed array: the zero-cost equivalent
+// of the old *Line, with accessor methods over the packed words. A failed
+// probe returns a Ref whose Ok method reports false. A Ref stays valid (and
+// aliases the slot, like a pointer) until the slot is re-filled by Insert or
+// cleared by Invalidate.
+type Ref struct {
+	c *Cache
+	i int32
+}
 
-// Probe looks up an address without updating recency or stats. Returns the
-// line or nil.
-func (c *Cache) Probe(a mem.Addr) *Line {
+// noRef is the miss sentinel.
+var noRef = Ref{nil, -1}
+
+// Ok reports whether the handle refers to a line (i.e. the probe hit).
+func (r Ref) Ok() bool { return r.i >= 0 }
+
+// Valid reports the slot's valid bit (a Victim handle may be invalid).
+func (r Ref) Valid() bool { return r.c.tv[r.i]&1 != 0 }
+
+// Tag returns the line's tag.
+func (r Ref) Tag() uint64 { return r.c.tv[r.i] >> 1 }
+
+// Dirty reports the line-granularity dirty bit.
+func (r Ref) Dirty() bool { return r.c.meta[r.i]&metaDirty != 0 }
+
+// SetDirty sets or clears the dirty bit.
+func (r Ref) SetDirty(d bool) {
+	if d {
+		r.c.meta[r.i] |= metaDirty
+	} else {
+		r.c.meta[r.i] &^= metaDirty
+	}
+}
+
+// MarkDirty sets the dirty bit.
+func (r Ref) MarkDirty() { r.c.meta[r.i] |= metaDirty }
+
+// State returns the caller-defined payload word.
+func (r Ref) State() uint32 {
+	if r.c.state == nil {
+		return 0
+	}
+	return r.c.state[r.i]
+}
+
+// SetState stores the payload word (allocating the side array on the first
+// nonzero write).
+func (r Ref) SetState(v uint32) {
+	if r.c.state == nil {
+		if v == 0 {
+			return
+		}
+		r.c.state = make([]uint32, len(r.c.tv))
+	}
+	r.c.state[r.i] = v
+}
+
+// OrState ORs bits into the payload word.
+func (r Ref) OrState(v uint32) {
+	if r.c.state == nil {
+		if v == 0 {
+			return
+		}
+		r.c.state = make([]uint32, len(r.c.tv))
+	}
+	r.c.state[r.i] |= v
+}
+
+// VMask returns the sector valid mask.
+func (r Ref) VMask() uint64 {
+	if r.c.vmask == nil {
+		return 0
+	}
+	return r.c.vmask[r.i]
+}
+
+// SetVMask stores the sector valid mask.
+func (r Ref) SetVMask(v uint64) {
+	if r.c.vmask == nil {
+		if v == 0 {
+			return
+		}
+		r.c.vmask = make([]uint64, len(r.c.tv))
+	}
+	r.c.vmask[r.i] = v
+}
+
+// OrVMask ORs bits into the sector valid mask.
+func (r Ref) OrVMask(v uint64) {
+	if r.c.vmask == nil {
+		if v == 0 {
+			return
+		}
+		r.c.vmask = make([]uint64, len(r.c.tv))
+	}
+	r.c.vmask[r.i] |= v
+}
+
+// ClearVMask clears bits of the sector valid mask.
+func (r Ref) ClearVMask(v uint64) {
+	if r.c.vmask == nil {
+		return
+	}
+	r.c.vmask[r.i] &^= v
+}
+
+// DMask returns the sector dirty mask.
+func (r Ref) DMask() uint64 {
+	if r.c.dmask == nil {
+		return 0
+	}
+	return r.c.dmask[r.i]
+}
+
+// SetDMask stores the sector dirty mask.
+func (r Ref) SetDMask(v uint64) {
+	if r.c.dmask == nil {
+		if v == 0 {
+			return
+		}
+		r.c.dmask = make([]uint64, len(r.c.tv))
+	}
+	r.c.dmask[r.i] = v
+}
+
+// OrDMask ORs bits into the sector dirty mask.
+func (r Ref) OrDMask(v uint64) {
+	if r.c.dmask == nil {
+		if v == 0 {
+			return
+		}
+		r.c.dmask = make([]uint64, len(r.c.tv))
+	}
+	r.c.dmask[r.i] |= v
+}
+
+// ClearDMask clears bits of the sector dirty mask.
+func (r Ref) ClearDMask(v uint64) {
+	if r.c.dmask == nil {
+		return
+	}
+	r.c.dmask[r.i] &^= v
+}
+
+// Line returns a detached value snapshot of the referenced slot.
+func (r Ref) Line() Line { return r.c.snapshot(int(r.i)) }
+
+func (c *Cache) snapshot(i int) Line {
+	l := Line{Tag: c.tv[i] >> 1, Valid: c.tv[i]&1 != 0, Dirty: c.meta[i]&metaDirty != 0}
+	if c.state != nil {
+		l.State = c.state[i]
+	}
+	if c.vmask != nil {
+		l.VMask = c.vmask[i]
+	}
+	if c.dmask != nil {
+		l.DMask = c.dmask[i]
+	}
+	return l
+}
+
+// clearSlot zeroes one slot completely (tv, meta, side payloads).
+func (c *Cache) clearSlot(i int) {
+	c.tv[i] = 0
+	c.meta[i] = 0
+	if c.state != nil {
+		c.state[i] = 0
+	}
+	if c.vmask != nil {
+		c.vmask[i] = 0
+	}
+	if c.dmask != nil {
+		c.dmask[i] = 0
+	}
+}
+
+// Probe looks up an address without updating recency or stats. A miss
+// returns a Ref with Ok() == false.
+func (c *Cache) Probe(a mem.Addr) Ref {
 	si, tag := c.Index(a)
-	for i := range c.set(si) {
-		l := &c.set(si)[i]
-		if l.Valid && l.Tag == tag {
-			return l
+	base := si * c.Ways
+	want := tag<<1 | 1
+	tv := c.tv[base : base+c.Ways]
+	for w := range tv {
+		if tv[w] == want {
+			return Ref{c, int32(base + w)}
 		}
 	}
-	return nil
+	return noRef
 }
 
 // Lookup searches for an address, updating recency and hit/miss stats.
-func (c *Cache) Lookup(a mem.Addr) *Line {
+func (c *Cache) Lookup(a mem.Addr) Ref {
 	si, tag := c.Index(a)
-	s := c.set(si)
-	for i := range s {
-		if s[i].Valid && s[i].Tag == tag {
+	base := si * c.Ways
+	want := tag<<1 | 1
+	tv := c.tv[base : base+c.Ways]
+	for w := range tv {
+		if tv[w] == want {
 			c.Stats.Hits++
-			c.touch(s, i)
-			return &s[i]
+			i := base + w
+			c.touch(base, i)
+			return Ref{c, int32(i)}
 		}
 	}
 	c.Stats.Misses++
-	return nil
+	return noRef
 }
 
-func (c *Cache) touch(s []Line, i int) {
+// touch updates replacement metadata for a hit or install of line i in the
+// set whose way group starts at base.
+func (c *Cache) touch(base, i int) {
 	switch c.Policy {
 	case LRU, Rand:
 		c.tick++
-		s[i].lru = c.tick
+		c.meta[i] = c.meta[i]&(1<<lruShift-1) | uint64(c.tick)<<lruShift
 	case SRRIP:
-		s[i].rrpv = 0 // hit promotion (HP policy)
+		c.meta[i] &^= rrpvMask // hit promotion (HP policy)
 	case NRU:
-		s[i].nru = true
+		c.meta[i] |= metaNRU
 		// if all ways are now recently-used, clear the others
 		all := true
-		for j := range s {
-			if j != i && s[j].Valid && !s[j].nru {
+		for k := base; k < base+c.Ways; k++ {
+			if k != i && c.tv[k]&1 != 0 && c.meta[k]&metaNRU == 0 {
 				all = false
 				break
 			}
 		}
 		if all {
-			for j := range s {
-				if j != i {
-					s[j].nru = false
+			for k := base; k < base+c.Ways; k++ {
+				if k != i {
+					c.meta[k] &^= metaNRU
 				}
 			}
 		}
 	}
 }
 
-// Victim returns the replacement candidate for an address: an invalid way if
-// one exists, else the policy victim. It does not modify the set.
-func (c *Cache) Victim(a mem.Addr) *Line {
-	si, _ := c.Index(a)
-	s := c.set(si)
-	for i := range s {
-		if !s[i].Valid {
-			return &s[i]
-		}
-	}
+// victimIndex returns the replacement slot for a set: an invalid way if one
+// exists, else the policy victim. SRRIP may age the set's RRPVs in place.
+func (c *Cache) victimIndex(si int) int {
+	base := si * c.Ways
+	tv := c.tv[base : base+c.Ways]
+	meta := c.meta[base : base+c.Ways]
 	switch c.Policy {
 	case NRU:
-		for i := range s {
-			if !s[i].nru {
-				return &s[i]
+		for w := range tv {
+			if tv[w]&1 == 0 {
+				return base + w
 			}
 		}
-		return &s[0]
+		for w := range meta {
+			if meta[w]&metaNRU == 0 {
+				return base + w
+			}
+		}
+		return base
 	case SRRIP:
+		for w := range tv {
+			if tv[w]&1 == 0 {
+				return base + w
+			}
+		}
 		// evict the first line with maximum RRPV (3), aging until one exists
 		for {
-			for i := range s {
-				if s[i].rrpv >= 3 {
-					return &s[i]
+			for w := range meta {
+				if meta[w]&rrpvMask >= 3<<rrpvShift {
+					return base + w
 				}
 			}
-			for i := range s {
-				s[i].rrpv++
+			for w := range meta {
+				meta[w] += rrpvOne
 			}
 		}
 	case Rand:
+		for w := range tv {
+			if tv[w]&1 == 0 {
+				return base + w
+			}
+		}
 		c.rng ^= c.rng >> 12
 		c.rng ^= c.rng << 25
 		c.rng ^= c.rng >> 27
-		return &s[int(c.rng%uint64(c.Ways))]
-	default: // LRU
-		vi, best := 0, s[0].lru
-		for i := 1; i < c.Ways; i++ {
-			if s[i].lru < best {
-				vi, best = i, s[i].lru
+		return base + int(c.rng%uint64(c.Ways))
+	default: // LRU: one fused pass finds an invalid way or the oldest line
+		vi, best := base, ^uint32(0)
+		for w := range tv {
+			if tv[w]&1 == 0 {
+				return base + w
+			}
+			if lru := uint32(meta[w] >> lruShift); lru < best {
+				vi, best = base+w, lru
 			}
 		}
-		return &s[vi]
+		return vi
 	}
+}
+
+// Victim returns the replacement candidate for an address: an invalid way if
+// one exists, else the policy victim. Only SRRIP aging modifies the set.
+func (c *Cache) Victim(a mem.Addr) Ref {
+	si, _ := c.Index(a)
+	return Ref{c, int32(c.victimIndex(si))}
 }
 
 // Insert installs an address, returning the evicted line contents (valid
 // only if a real eviction occurred). The new line is marked recently used.
 func (c *Cache) Insert(a mem.Addr, dirty bool) (evicted Line) {
 	si, tag := c.Index(a)
-	v := c.Victim(a)
-	if v.Valid {
-		evicted = *v
+	vi := c.victimIndex(si)
+	if c.tv[vi]&1 != 0 {
+		evicted = c.snapshot(vi)
 		c.Stats.Evictions++
-		if v.Dirty {
+		if c.meta[vi]&metaDirty != 0 {
 			c.Stats.DirtyEvic++
 		}
 	}
-	*v = Line{Tag: tag, Valid: true, Dirty: dirty}
-	if c.Policy == SRRIP {
-		v.rrpv = 2 // long re-reference interval on insertion
+	c.tv[vi] = tag<<1 | 1
+	var m uint64
+	if dirty {
+		m = metaDirty
 	}
-	s := c.set(si)
-	for i := range s {
-		if &s[i] == v {
-			if c.Policy != SRRIP {
-				c.touch(s, i)
-			}
-			break
-		}
+	c.meta[vi] = m
+	if c.state != nil {
+		c.state[vi] = 0
+	}
+	if c.vmask != nil {
+		c.vmask[vi] = 0
+	}
+	if c.dmask != nil {
+		c.dmask[vi] = 0
+	}
+	if c.Policy == SRRIP {
+		c.meta[vi] |= 2 << rrpvShift // long re-reference interval on insertion
+	} else {
+		c.touch(si*c.Ways, vi)
 	}
 	return evicted
 }
 
 // Invalidate removes an address if present, returning the removed line.
 func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
-	if l := c.Probe(a); l != nil {
-		old := *l
-		*l = Line{}
+	if r := c.Probe(a); r.Ok() {
+		old := c.snapshot(int(r.i))
+		c.clearSlot(int(r.i))
 		return old, true
 	}
 	return Line{}, false
@@ -268,36 +516,36 @@ func (c *Cache) LineAddr(si int, tag uint64) mem.Addr {
 }
 
 // ForEach visits every valid line (used for BATMAN set disabling and tests).
-func (c *Cache) ForEach(fn func(set int, l *Line)) {
+func (c *Cache) ForEach(fn func(set int, r Ref)) {
 	for si := 0; si < c.Sets; si++ {
-		s := c.set(si)
-		for i := range s {
-			if s[i].Valid {
-				fn(si, &s[i])
+		base := si * c.Ways
+		for w := 0; w < c.Ways; w++ {
+			if c.tv[base+w]&1 != 0 {
+				fn(si, Ref{c, int32(base + w)})
 			}
 		}
 	}
 }
 
 // ForEachInSet visits the valid lines of one set.
-func (c *Cache) ForEachInSet(si int, fn func(l *Line)) {
-	s := c.set(si)
-	for i := range s {
-		if s[i].Valid {
-			fn(&s[i])
+func (c *Cache) ForEachInSet(si int, fn func(r Ref)) {
+	base := si * c.Ways
+	for w := 0; w < c.Ways; w++ {
+		if c.tv[base+w]&1 != 0 {
+			fn(Ref{c, int32(base + w)})
 		}
 	}
 }
 
 // InvalidateSet clears an entire set, invoking fn for each valid line first.
-func (c *Cache) InvalidateSet(si int, fn func(l *Line)) {
-	s := c.set(si)
-	for i := range s {
-		if s[i].Valid {
+func (c *Cache) InvalidateSet(si int, fn func(r Ref)) {
+	base := si * c.Ways
+	for w := 0; w < c.Ways; w++ {
+		if c.tv[base+w]&1 != 0 {
 			if fn != nil {
-				fn(&s[i])
+				fn(Ref{c, int32(base + w)})
 			}
-			s[i] = Line{}
+			c.clearSlot(base + w)
 		}
 	}
 }
@@ -305,10 +553,10 @@ func (c *Cache) InvalidateSet(si int, fn func(l *Line)) {
 // Occupancy returns the fraction of valid lines.
 func (c *Cache) Occupancy() float64 {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for _, v := range c.tv {
+		if v&1 != 0 {
 			n++
 		}
 	}
-	return float64(n) / float64(len(c.lines))
+	return float64(n) / float64(len(c.tv))
 }

@@ -10,11 +10,11 @@ import (
 func TestBasicHitMiss(t *testing.T) {
 	c := New(16, 2, LRU, 1)
 	a := mem.Addr(0x1000)
-	if c.Lookup(a) != nil {
+	if c.Lookup(a).Ok() {
 		t.Fatal("empty cache must miss")
 	}
 	c.Insert(a, false)
-	if c.Lookup(a) == nil {
+	if !c.Lookup(a).Ok() {
 		t.Fatal("inserted line must hit")
 	}
 	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
@@ -34,10 +34,10 @@ func TestLRUVictim(t *testing.T) {
 	if !ev.Valid {
 		t.Fatal("full set must evict")
 	}
-	if c.Probe(b) != nil {
+	if c.Probe(b).Ok() {
 		t.Fatal("LRU victim should have been b")
 	}
-	if c.Probe(a) == nil || c.Probe(x) == nil {
+	if !c.Probe(a).Ok() || !c.Probe(x).Ok() {
 		t.Fatal("a and x must remain")
 	}
 }
@@ -54,12 +54,12 @@ func TestNRUVictimPrefersNotRecentlyUsed(t *testing.T) {
 	c.Lookup(addrs[1])
 	c.Lookup(addrs[3])
 	v := c.Victim(addrs[0])
-	if v.Tag == 0 && !v.Valid {
+	if !v.Ok() || !v.Valid() {
 		t.Fatal("victim must be a valid line in a full set")
 	}
 	// insert and make sure the cache still functions
 	c.Insert(mem.Addr(4<<6), false)
-	if c.Probe(mem.Addr(4<<6)) == nil {
+	if !c.Probe(mem.Addr(4<<6)).Ok() {
 		t.Fatal("new line must be present")
 	}
 }
@@ -72,7 +72,7 @@ func TestInvalidate(t *testing.T) {
 	if !ok || !l.Dirty {
 		t.Fatalf("invalidate = %+v, %v", l, ok)
 	}
-	if c.Probe(a) != nil {
+	if c.Probe(a).Ok() {
 		t.Fatal("line must be gone")
 	}
 	if _, ok := c.Invalidate(a); ok {
@@ -113,7 +113,7 @@ func TestInsertEvictReturnsContents(t *testing.T) {
 	a := mem.Addr(0x40)
 	c.Insert(a, true)
 	l := c.Probe(a)
-	l.VMask = 0xdeadbeef
+	l.SetVMask(0xdeadbeef)
 	ev := c.Insert(mem.Addr(0x40+64*1), false)
 	if !ev.Valid || !ev.Dirty || ev.VMask != 0xdeadbeef {
 		t.Fatalf("evicted = %+v", ev)
@@ -129,7 +129,7 @@ func TestOccupancyAndForEach(t *testing.T) {
 		t.Fatalf("occupancy = %v, want 0.5", got)
 	}
 	n := 0
-	c.ForEach(func(set int, l *Line) { n++ })
+	c.ForEach(func(set int, l Ref) { n++ })
 	if n != 4 {
 		t.Fatalf("ForEach visited %d, want 4", n)
 	}
@@ -141,14 +141,14 @@ func TestInvalidateSet(t *testing.T) {
 	c.Insert(mem.Addr(2*64), false) // set 0
 	c.Insert(mem.Addr(1*64), false) // set 1
 	seen := 0
-	c.InvalidateSet(0, func(l *Line) { seen++ })
+	c.InvalidateSet(0, func(l Ref) { seen++ })
 	if seen != 2 {
 		t.Fatalf("visited %d lines, want 2", seen)
 	}
-	if c.Probe(mem.Addr(0)) != nil || c.Probe(mem.Addr(2*64)) != nil {
+	if c.Probe(mem.Addr(0)).Ok() || c.Probe(mem.Addr(2*64)).Ok() {
 		t.Fatal("set 0 must be empty")
 	}
-	if c.Probe(mem.Addr(1*64)) == nil {
+	if !c.Probe(mem.Addr(1*64)).Ok() {
 		t.Fatal("set 1 must be untouched")
 	}
 }
@@ -182,7 +182,7 @@ func TestSetNeverOverflows(t *testing.T) {
 		}
 		for si := 0; si < c.Sets; si++ {
 			n := 0
-			c.ForEachInSet(si, func(*Line) { n++ })
+			c.ForEachInSet(si, func(Ref) { n++ })
 			if n > c.Ways {
 				return false
 			}
@@ -203,7 +203,7 @@ func TestInsertThenProbe(t *testing.T) {
 		}
 		addr := mem.Addr(a) << 6
 		c.Insert(addr, false)
-		return c.Probe(addr) != nil
+		return c.Probe(addr).Ok()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ func TestSRRIPHitPromotion(t *testing.T) {
 	c.Insert(mem.Addr(2<<6), false)
 	c.Insert(mem.Addr(3<<6), false)
 	c.Insert(mem.Addr(4<<6), false) // evicts someone
-	if c.Probe(a) == nil {
+	if !c.Probe(a).Ok() {
 		t.Fatal("promoted line evicted before distant ones")
 	}
 }
@@ -30,7 +30,7 @@ func TestSRRIPAgingTerminates(t *testing.T) {
 	}
 	// victim selection must age the set and still return a line
 	v := c.Victim(mem.Addr(99) << 6)
-	if v == nil || !v.Valid {
+	if !v.Ok() || !v.Valid() {
 		t.Fatal("SRRIP aging must converge to a victim")
 	}
 }
@@ -50,7 +50,7 @@ func TestSRRIPScanResistance(t *testing.T) {
 			// two passes over the hot set: the second establishes reuse
 			for pass := 0; pass < 2; pass++ {
 				for _, a := range hot {
-					if c.Lookup(a) == nil {
+					if !c.Lookup(a).Ok() {
 						misses++
 						c.Insert(a, false)
 					}
@@ -60,7 +60,7 @@ func TestSRRIPScanResistance(t *testing.T) {
 			for i := 0; i < 48; i++ {
 				scan++
 				a := mem.Addr(1<<20) + mem.Addr(scan)<<6
-				if c.Lookup(a) == nil {
+				if !c.Lookup(a).Ok() {
 					c.Insert(a, false)
 				}
 			}
@@ -81,7 +81,7 @@ func TestRandVictimIsValidWay(t *testing.T) {
 	// every set must still hold exactly Ways lines
 	for si := 0; si < c.Sets; si++ {
 		n := 0
-		c.ForEachInSet(si, func(*Line) { n++ })
+		c.ForEachInSet(si, func(Ref) { n++ })
 		if n != c.Ways {
 			t.Fatalf("set %d holds %d lines", si, n)
 		}

@@ -6,11 +6,14 @@ import (
 	"dap/internal/ckpt"
 )
 
-// SaveState serializes the cache's complete mutable state — every line
-// including replacement metadata, the recency tick, the random-victim RNG
-// and the hit/miss counters — into a checkpoint section. Geometry (sets,
-// ways, policy, set skip) is written first so LoadState can refuse a
-// checkpoint taken under a different configuration.
+// SaveState serializes the cache's complete mutable state — the packed tag
+// and metadata arrays, the lazily-present side payloads, the recency tick,
+// the random-victim RNG and the hit/miss counters — into a checkpoint
+// section. Geometry (sets, ways, policy, set skip) is written first so
+// LoadState can refuse a checkpoint taken under a different configuration.
+// The packed arrays are written as bulk word arrays, and a side array that
+// was never allocated writes a single absence flag instead of a block of
+// zeros, so ordinary caches checkpoint at 16 bytes per line.
 func (c *Cache) SaveState(e *ckpt.Enc) {
 	e.U32(uint32(c.Sets))
 	e.U32(uint32(c.Ways))
@@ -22,17 +25,19 @@ func (c *Cache) SaveState(e *ckpt.Enc) {
 	e.U64(c.Stats.Misses)
 	e.U64(c.Stats.Evictions)
 	e.U64(c.Stats.DirtyEvic)
-	for i := range c.lines {
-		l := &c.lines[i]
-		e.U64(l.Tag)
-		e.Bool(l.Valid)
-		e.Bool(l.Dirty)
-		e.U32(l.State)
-		e.U64(l.VMask)
-		e.U64(l.DMask)
-		e.U32(l.lru)
-		e.Bool(l.nru)
-		e.U8(l.rrpv)
+	e.U64s(c.tv)
+	e.U64s(c.meta)
+	e.Bool(c.state != nil)
+	if c.state != nil {
+		e.U32s(c.state)
+	}
+	e.Bool(c.vmask != nil)
+	if c.vmask != nil {
+		e.U64s(c.vmask)
+	}
+	e.Bool(c.dmask != nil)
+	if c.dmask != nil {
+		e.U64s(c.dmask)
 	}
 }
 
@@ -55,17 +60,31 @@ func (c *Cache) LoadState(d *ckpt.Dec) error {
 	c.Stats.Misses = d.U64()
 	c.Stats.Evictions = d.U64()
 	c.Stats.DirtyEvic = d.U64()
-	for i := range c.lines {
-		l := &c.lines[i]
-		l.Tag = d.U64()
-		l.Valid = d.Bool()
-		l.Dirty = d.Bool()
-		l.State = d.U32()
-		l.VMask = d.U64()
-		l.DMask = d.U64()
-		l.lru = d.U32()
-		l.nru = d.Bool()
-		l.rrpv = d.U8()
+	d.U64s(c.tv)
+	d.U64s(c.meta)
+	if d.Bool() {
+		if c.state == nil {
+			c.state = make([]uint32, len(c.tv))
+		}
+		d.U32s(c.state)
+	} else {
+		c.state = nil
+	}
+	if d.Bool() {
+		if c.vmask == nil {
+			c.vmask = make([]uint64, len(c.tv))
+		}
+		d.U64s(c.vmask)
+	} else {
+		c.vmask = nil
+	}
+	if d.Bool() {
+		if c.dmask == nil {
+			c.dmask = make([]uint64, len(c.tv))
+		}
+		d.U64s(c.dmask)
+	} else {
+		c.dmask = nil
 	}
 	return d.Err()
 }

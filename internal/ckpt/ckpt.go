@@ -14,6 +14,15 @@
 // not exist in the saving configuration simply has no section; the restored
 // component keeps its freshly-constructed state, which is correct because
 // functional warmup never mutates it).
+//
+// The writer streams every section into one contiguous buffer: opening a
+// section writes its header with a length placeholder that is backpatched
+// when the next section opens (or at Bytes), so rendering the envelope is a
+// single checksum pass with no per-section intermediate slices. The buffer
+// is sized from the previous envelope rendered by this process, so a
+// steady-state checkpoint cycle performs one right-sized allocation. The
+// decoder reads in place — section payloads and Bytes values are views into
+// the caller's blob, never copies.
 package ckpt
 
 import (
@@ -23,14 +32,18 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Magic and Version identify the envelope format. Bump Version on any
 // incompatible layout change; Load rejects mismatches as corruption so the
 // caller re-runs warmup instead of resuming from garbage.
+//
+// Version history: 1 = per-field AoS cache lines; 2 = packed SoA tag arrays
+// with lazily-present side payloads and bulk little-endian word arrays.
 const (
 	Magic   = "DAPCKPT1"
-	Version = 1
+	Version = 2
 )
 
 // ErrCorrupt is returned (wrapped) for any structural damage: bad magic,
@@ -38,50 +51,84 @@ const (
 // its end.
 var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
 
-// Writer accumulates named sections and renders the envelope.
+// sizeHint remembers the size of the last envelope rendered by this process
+// so the next writer allocates once. Checkpoints within one process are
+// taken under a handful of configurations of near-constant size, so the
+// previous size (plus slack) is an excellent predictor.
+var sizeHint atomic.Int64
+
+// headerLen is the fixed prefix before the first section: magic, version,
+// section count.
+const headerLen = len(Magic) + 4 + 4
+
+// Writer streams named sections into a single contiguous envelope buffer.
 type Writer struct {
-	names    []string
-	sections map[string]*Enc
+	buf    []byte
+	enc    Enc
+	lenOff int // offset of the open section's length field; -1 when closed
+	n      int // sections opened
+	done   bool
 }
 
 // NewWriter returns an empty checkpoint writer.
 func NewWriter() *Writer {
-	return &Writer{sections: make(map[string]*Enc)}
+	hint := int(sizeHint.Load())
+	if hint < 1<<10 {
+		hint = 1 << 10
+	}
+	w := &Writer{buf: make([]byte, 0, hint), lenOff: -1}
+	w.enc.w = w
+	w.buf = append(w.buf, Magic...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, Version)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, 0) // count, backpatched
+	return w
 }
 
-// Section returns the encoder for the named section, creating it on first
-// use. Calling Section twice with the same name returns the same encoder
-// (appends continue).
+// Section opens a new named section and returns the writer's encoder for
+// it. The previous section (if any) is finalized; each name must be opened
+// at most once, and all of a section's fields must be encoded before the
+// next Section call.
 func (w *Writer) Section(name string) *Enc {
-	if e, ok := w.sections[name]; ok {
-		return e
+	if w.done {
+		panic("ckpt: Section after Bytes")
 	}
-	e := &Enc{}
-	w.sections[name] = e
-	w.names = append(w.names, name)
-	return e
+	w.closeSection()
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(name)))
+	w.buf = append(w.buf, name...)
+	w.lenOff = len(w.buf)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, 0) // length, backpatched
+	w.n++
+	return &w.enc
 }
 
-// Bytes renders the envelope: magic, version, section count, the sections
-// in creation order, and the FNV-64a checksum of everything before it.
+func (w *Writer) closeSection() {
+	if w.lenOff >= 0 {
+		binary.LittleEndian.PutUint32(w.buf[w.lenOff:], uint32(len(w.buf)-w.lenOff-4))
+		w.lenOff = -1
+	}
+}
+
+// Bytes finalizes and returns the envelope: magic, version, section count,
+// the sections in creation order, and the FNV-64a checksum of everything
+// before it. The returned slice is the writer's buffer; the writer must not
+// be used afterwards.
 func (w *Writer) Bytes() []byte {
-	var buf []byte
-	buf = append(buf, Magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.names)))
-	for _, name := range w.names {
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
-		buf = append(buf, name...)
-		sec := w.sections[name].buf
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec)))
-		buf = append(buf, sec...)
+	if !w.done {
+		w.closeSection()
+		binary.LittleEndian.PutUint32(w.buf[len(Magic)+4:], uint32(w.n))
+		h := fnv.New64a()
+		h.Write(w.buf)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, h.Sum64())
+		w.done = true
+		// Remember the rendered size (with headroom for growth) so the next
+		// writer allocates exactly once.
+		sizeHint.Store(int64(len(w.buf) + len(w.buf)/8))
 	}
-	h := fnv.New64a()
-	h.Write(buf)
-	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+	return w.buf
 }
 
-// Reader holds a parsed, checksum-verified envelope.
+// Reader holds a parsed, checksum-verified envelope. Section payloads are
+// views into the blob passed to NewReader; the blob must outlive every Dec.
 type Reader struct {
 	sections map[string][]byte
 }
@@ -89,7 +136,7 @@ type Reader struct {
 // NewReader parses and verifies an envelope. Any structural problem returns
 // an error wrapping ErrCorrupt.
 func NewReader(data []byte) (*Reader, error) {
-	if len(data) < len(Magic)+4+4+8 {
+	if len(data) < headerLen+8 {
 		return nil, fmt.Errorf("%w: short envelope (%d bytes)", ErrCorrupt, len(data))
 	}
 	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
@@ -109,7 +156,16 @@ func NewReader(data []byte) (*Reader, error) {
 	off += 4
 	n := int(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
-	r := &Reader{sections: make(map[string][]byte, n)}
+	// Size the section map from the declared count, but never beyond what
+	// the body could physically hold (each section needs at least a 2-byte
+	// name length and a 4-byte payload length) — a forged count must not
+	// translate into an attacker-sized allocation before the per-section
+	// bounds checks reject it.
+	hint := n
+	if most := (len(body) - off) / 6; hint > most {
+		hint = most
+	}
+	r := &Reader{sections: make(map[string][]byte, hint)}
 	for i := 0; i < n; i++ {
 		if off+2 > len(body) {
 			return nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
@@ -152,25 +208,26 @@ func (r *Reader) Names() []string {
 	return names
 }
 
-// Enc appends fixed-width little-endian values to a section.
+// Enc appends fixed-width little-endian values to the writer's open
+// section. Encoders are obtained from Writer.Section.
 type Enc struct {
-	buf []byte
+	w *Writer
 }
 
 // U64 appends a uint64.
-func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Enc) U64(v uint64) { e.w.buf = binary.LittleEndian.AppendUint64(e.w.buf, v) }
 
 // I64 appends an int64 (two's complement).
 func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
 
 // U32 appends a uint32.
-func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Enc) U32(v uint32) { e.w.buf = binary.LittleEndian.AppendUint32(e.w.buf, v) }
 
 // U16 appends a uint16.
-func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *Enc) U16(v uint16) { e.w.buf = binary.LittleEndian.AppendUint16(e.w.buf, v) }
 
 // U8 appends a byte.
-func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Enc) U8(v uint8) { e.w.buf = append(e.w.buf, v) }
 
 // Bool appends a byte-encoded bool.
 func (e *Enc) Bool(v bool) {
@@ -187,11 +244,42 @@ func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
 // Bytes appends a length-prefixed byte string.
 func (e *Enc) Bytes(b []byte) {
 	e.U32(uint32(len(b)))
-	e.buf = append(e.buf, b...)
+	e.w.buf = append(e.w.buf, b...)
 }
 
-// Len returns the number of bytes encoded so far.
-func (e *Enc) Len() int { return len(e.buf) }
+// grow extends the buffer by n bytes in one step and returns the window to
+// fill — the bulk-array fast path.
+func (e *Enc) grow(n int) []byte {
+	buf := e.w.buf
+	if cap(buf)-len(buf) < n {
+		nb := make([]byte, len(buf), max(2*cap(buf), len(buf)+n))
+		copy(nb, buf)
+		buf = nb
+	}
+	e.w.buf = buf[:len(buf)+n]
+	return e.w.buf[len(buf):]
+}
+
+// U64s appends a length-prefixed uint64 array as one contiguous write.
+func (e *Enc) U64s(v []uint64) {
+	e.U32(uint32(len(v)))
+	dst := e.grow(8 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[8*i:], x)
+	}
+}
+
+// U32s appends a length-prefixed uint32 array as one contiguous write.
+func (e *Enc) U32s(v []uint32) {
+	e.U32(uint32(len(v)))
+	dst := e.grow(4 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(dst[4*i:], x)
+	}
+}
+
+// Len returns the number of bytes encoded into the envelope so far.
+func (e *Enc) Len() int { return len(e.w.buf) }
 
 // Dec reads fixed-width little-endian values from a section. Reads past the
 // end latch an error and return zero values; check Err once after decoding
@@ -260,19 +348,55 @@ func (d *Dec) Bool() bool { return d.U8() != 0 }
 // F64 reads an IEEE-754 float64.
 func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
 
-// Bytes reads a length-prefixed byte string.
+// Bytes reads a length-prefixed byte string. The returned slice is a view
+// into the decoder's section (and thus into the caller's blob); copy it if
+// it must outlive the blob.
 func (d *Dec) Bytes() []byte {
 	n := int(d.U32())
 	if d.err != nil {
 		return nil
 	}
-	b := d.take(n)
-	if b == nil {
-		return nil
+	return d.take(n)
+}
+
+// U64s reads a length-prefixed uint64 array written by Enc.U64s into dst.
+// A length mismatch with len(dst) latches ErrCorrupt and leaves dst
+// untouched.
+func (d *Dec) U64s(dst []uint64) {
+	n := int(d.U32())
+	if d.err != nil {
+		return
 	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	if n != len(dst) {
+		d.err = fmt.Errorf("%w: array length %d, want %d", ErrCorrupt, n, len(dst))
+		return
+	}
+	b := d.take(8 * n)
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+}
+
+// U32s reads a length-prefixed uint32 array written by Enc.U32s into dst.
+func (d *Dec) U32s(dst []uint32) {
+	n := int(d.U32())
+	if d.err != nil {
+		return
+	}
+	if n != len(dst) {
+		d.err = fmt.Errorf("%w: array length %d, want %d", ErrCorrupt, n, len(dst))
+		return
+	}
+	b := d.take(4 * n)
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
 }
 
 // Err returns the first decode error (nil if all reads were in bounds).

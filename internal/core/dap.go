@@ -195,11 +195,30 @@ type DAP struct {
 	bmsWinW int64 // write channels (eDRAM only)
 	bmmWin  int64
 
+	// Per-access fast path: the credit cost of one application, fixed at
+	// construction (costFWB = Den, costUnit = Num+Den), so each Take* is a
+	// single compare-and-decrement against a live counter. Disable flags
+	// are folded into the live counters at credit install (a disabled
+	// technique's counter is forced to zero), and the thread-aware IFRM
+	// watermark is precomputed as ifrmHalf, so no per-access decision reads
+	// the Config.
+	costFWB, costUnit int64
+	// taSensitive aliases cfg.LatencySensitive when thread-aware IFRM is
+	// on; nil otherwise, making the common-case check one pointer test.
+	taSensitive []bool
+
 	// raw credit counters; fwb and sfrm in units of Den, wb and ifrm in
 	// units of (Num+Den) [one application costs Num+Den], wt in units 1.
 	fwb, wb, ifrm, sfrm, wt int64
-	// ifrmGrant is this window's IFRM grant (thread-aware watermark).
-	ifrmGrant int64
+	// ifrmGrant is this window's IFRM grant (thread-aware watermark);
+	// ifrmHalf is its precomputed half.
+	ifrmGrant, ifrmHalf int64
+
+	// rawFWB..rawWT hold the window's clamped grants before Disable
+	// folding. They exist for the decision recorder, which must observe
+	// what the solver granted rather than what the controllers can drain,
+	// and are overwritten at every rollover (never serialized).
+	rawFWB, rawWB, rawIFRM, rawSFRM, rawWT int64
 	// smooth carries the EWMA-filtered counts when EWMALearning is set.
 	smooth WindowCounts
 
@@ -241,13 +260,24 @@ func NewDAP(cfg Config, eng *sim.Engine, wc *WindowCounts) *DAP {
 	bms := mem.AccessesPerCycle(cfg.BMSGBps) * cfg.Efficiency
 	bmm := mem.AccessesPerCycle(cfg.BMMGBps) * cfg.Efficiency
 	d.k = ApproxRatio(bms/bmm, cfg.MaxKDen)
+	d.costFWB = d.k.Den
+	d.costUnit = d.k.Num + d.k.Den
+	if cfg.ThreadAware {
+		d.taSensitive = cfg.LatencySensitive
+	}
 	w := float64(cfg.Window)
 	d.bmsWinR = int64(bms * w)
 	d.bmsWinW = d.bmsWinR
 	d.bmmWin = int64(bmm * w)
-	eng.After(cfg.Window, d.window)
+	eng.AfterArg(cfg.Window, windowTick, d, 0)
 	return d
 }
+
+// windowTick is the window timer's top-level handler: scheduling it through
+// AfterArg with the DAP as ctx costs no allocation, where the method value
+// d.window allocated one closure per window — the simulator's largest
+// steady-state allocation site once the access paths went allocation-free.
+func windowTick(ctx any, _ uint64, _ mem.Cycle) { ctx.(*DAP).window() }
 
 // Stop halts the window timer (end of a simulation).
 func (d *DAP) Stop() { d.stopped = true }
@@ -304,29 +334,25 @@ func (d *DAP) K() Ratio { return d.k }
 func (d *DAP) Decisions() stats.DAPDecisions { return d.dec }
 
 // TakeFWB implements Partitioner (credit unit: Den per application).
+// Disabled techniques install zero credits, so the common unpartitioned
+// case is a single compare.
 func (d *DAP) TakeFWB() bool {
-	if d.cfg.Disable.FWB {
+	if d.fwb < d.costFWB {
 		return false
 	}
-	if d.fwb >= d.k.Den {
-		d.fwb -= d.k.Den
-		d.dec.FWB++
-		return true
-	}
-	return false
+	d.fwb -= d.costFWB
+	d.dec.FWB++
+	return true
 }
 
 // TakeWB implements Partitioner (credit unit: Num+Den per application).
 func (d *DAP) TakeWB() bool {
-	if d.cfg.Disable.WB {
+	if d.wb < d.costUnit {
 		return false
 	}
-	if c := d.k.Num + d.k.Den; d.wb >= c {
-		d.wb -= c
-		d.dec.WB++
-		return true
-	}
-	return false
+	d.wb -= d.costUnit
+	d.dec.WB++
+	return true
 }
 
 // TakeIFRM implements Partitioner (credit unit: Num+Den per application).
@@ -334,41 +360,35 @@ func (d *DAP) TakeWB() bool {
 // more than half of this window's grant remains, so insensitive threads'
 // clean hits are bypassed first (Section IV-A).
 func (d *DAP) TakeIFRM(core int) bool {
-	if d.cfg.Disable.IFRM {
+	if d.ifrm < d.costUnit {
 		return false
 	}
-	if d.cfg.ThreadAware && core >= 0 && core < len(d.cfg.LatencySensitive) &&
-		d.cfg.LatencySensitive[core] && d.ifrm <= d.ifrmGrant/2 {
+	if d.taSensitive != nil && core >= 0 && core < len(d.taSensitive) &&
+		d.taSensitive[core] && d.ifrm <= d.ifrmHalf {
 		return false
 	}
-	if c := d.k.Num + d.k.Den; d.ifrm >= c {
-		d.ifrm -= c
-		d.dec.IFRM++
-		return true
-	}
-	return false
+	d.ifrm -= d.costUnit
+	d.dec.IFRM++
+	return true
 }
 
 // TakeSFRM implements Partitioner.
 func (d *DAP) TakeSFRM() bool {
-	if d.cfg.Disable.SFRM {
+	if d.sfrm < 1 {
 		return false
 	}
-	if d.sfrm >= 1 {
-		d.sfrm--
-		d.dec.SFRM++
-		return true
-	}
-	return false
+	d.sfrm--
+	d.dec.SFRM++
+	return true
 }
 
 // TakeWT implements Partitioner (Alloy write-through credits).
 func (d *DAP) TakeWT() bool {
-	if d.wt >= 1 {
-		d.wt--
-		return true
+	if d.wt < 1 {
+		return false
 	}
-	return false
+	d.wt--
+	return true
 }
 
 // window is the periodic recomputation (Figure 3).
@@ -376,7 +396,7 @@ func (d *DAP) window() {
 	if d.stopped {
 		return
 	}
-	d.eng.After(d.cfg.Window, d.window)
+	d.eng.AfterArg(d.cfg.Window, windowTick, d, 0)
 	w := *d.wc
 	d.wc.reset()
 	if d.cfg.Backlog != nil {
@@ -424,19 +444,37 @@ func clamp(v, lo, hi int64) int64 {
 }
 
 // setCredits installs the window's solution with saturation. Raw units: fwb
-// and sfrm scale by Den; wb/ifrm are already in (Num+Den) units.
+// and sfrm scale by Den; wb/ifrm are already in (Num+Den) units. The
+// clamped solver grants land in the raw* fields for the decision recorder;
+// the live counters the Take* fast paths drain additionally fold the
+// Disable flags (a disabled technique's counter is forced to zero, so no
+// per-access check is needed).
 func (d *DAP) setCredits(fwbRaw, wbRaw, ifrmRaw, sfrm, wt int64) {
-	den := d.k.Den
-	unit := d.k.Num + d.k.Den
-	d.fwb = clamp(fwbRaw, 0, d.cfg.CreditCap*den)
-	d.wb = clamp(wbRaw, 0, d.cfg.CreditCap*unit/den)
-	d.ifrm = clamp(ifrmRaw, 0, d.cfg.CreditCap*unit/den)
-	d.ifrmGrant = d.ifrm
-	d.sfrm = clamp(sfrm, 0, d.cfg.CreditCap)
-	d.wt = clamp(wt, 0, d.cfg.CreditCap)
-	if d.fwb > 0 || d.wb > 0 || d.ifrm > 0 || d.sfrm > 0 || d.wt > 0 {
+	den := d.costFWB
+	unit := d.costUnit
+	d.rawFWB = clamp(fwbRaw, 0, d.cfg.CreditCap*den)
+	d.rawWB = clamp(wbRaw, 0, d.cfg.CreditCap*unit/den)
+	d.rawIFRM = clamp(ifrmRaw, 0, d.cfg.CreditCap*unit/den)
+	d.rawSFRM = clamp(sfrm, 0, d.cfg.CreditCap)
+	d.rawWT = clamp(wt, 0, d.cfg.CreditCap)
+	if d.rawFWB > 0 || d.rawWB > 0 || d.rawIFRM > 0 || d.rawSFRM > 0 || d.rawWT > 0 {
 		d.Partitioned++
 	}
+	d.fwb, d.wb, d.ifrm, d.sfrm, d.wt = d.rawFWB, d.rawWB, d.rawIFRM, d.rawSFRM, d.rawWT
+	if d.cfg.Disable.FWB {
+		d.fwb = 0
+	}
+	if d.cfg.Disable.WB {
+		d.wb = 0
+	}
+	if d.cfg.Disable.IFRM {
+		d.ifrm = 0
+	}
+	if d.cfg.Disable.SFRM {
+		d.sfrm = 0
+	}
+	d.ifrmGrant = d.ifrm
+	d.ifrmHalf = d.ifrmGrant / 2
 }
 
 // solveSectored implements the Figure 3 flow for the sectored DRAM cache:

@@ -245,8 +245,10 @@ func (d *DAP) sourceNames() []string {
 }
 
 // recordDecision captures the window just solved: w is the demand profile
-// the solver consumed, and the credit counters hold the clamped refills
-// setCredits just installed. Called only when a recorder is attached.
+// the solver consumed, and the raw* fields hold the clamped refills
+// setCredits just installed, before Disable folding — the recorder reports
+// what the solver granted, not what the controllers can drain. Called only
+// when a recorder is attached.
 func (d *DAP) recordDecision(w *WindowCounts) {
 	den, unit := d.k.Den, d.k.Num+d.k.Den
 	rec := DecisionRecord{
@@ -256,15 +258,15 @@ func (d *DAP) recordDecision(w *WindowCounts) {
 		Arch:    d.cfg.Arch,
 		Counts:  *w,
 		K:       d.k,
-		FWB:     d.fwb / den,
-		WB:      d.wb / unit,
-		IFRM:    d.ifrm / unit,
-		SFRM:    d.sfrm,
-		WT:      d.wt,
+		FWB:     d.rawFWB / den,
+		WB:      d.rawWB / unit,
+		IFRM:    d.rawIFRM / unit,
+		SFRM:    d.rawSFRM,
+		WT:      d.rawWT,
 	}
 	// Mirror setCredits' Partitioned++ criterion on the raw counters: a
 	// grant smaller than one application unit still partitions the window.
-	rec.Partitioned = d.fwb > 0 || d.wb > 0 || d.ifrm > 0 || d.sfrm > 0 || d.wt > 0
+	rec.Partitioned = d.rawFWB > 0 || d.rawWB > 0 || d.rawIFRM > 0 || d.rawSFRM > 0 || d.rawWT > 0
 
 	bw := d.SourceBandwidths()
 	rec.Optimal = OptimalFractions(bw)

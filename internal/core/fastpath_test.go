@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dap/internal/sim"
+)
+
+// This file property-tests the per-access fast path: the integer
+// compare-and-decrement grants installed at window rollover must equal, for
+// every solver variant and any demand profile, the grants computed by a
+// reference solver written in plain float64 fraction arithmetic (K carried
+// as the fraction p/q, divisions performed on fractions and truncated where
+// the hardware truncates). Demand counts stay below 2^20 and K's terms
+// below 2^6, so every intermediate product is below 2^53 and the float64
+// reference is exact — any mismatch is a real arithmetic divergence, not
+// rounding.
+
+// refGrants mirrors the Section IV solvers in float64 fraction arithmetic
+// and returns the per-technique application grants after the saturating
+// clamp — what the decision recorder reports and what the controllers can
+// drain (before Disable folding).
+func refGrants(d *DAP, w WindowCounts) (fwb, wb, ifrm, sfrm, wt int64) {
+	p, q := float64(d.k.Num), float64(d.k.Den)
+	cap := float64(d.cfg.CreditCap)
+	amsr, amsw := float64(w.AMSR), float64(w.AMSW)
+	ams, amm := amsr+amsw, float64(w.AMM)
+	rm, wm, clean := float64(w.Rm), float64(w.Wm), float64(w.CleanHits)
+	bmsR, bmsW, bmm := float64(d.bmsWinR), float64(d.bmsWinW), float64(d.bmmWin)
+	reserve := d.cfg.SFRMReserve
+
+	// appsFWB/appsUnit convert a raw credit value (fwb/sfrm in units of q,
+	// wb/ifrm in units of p+q) into whole applications after the clamp,
+	// truncating where the hardware divides.
+	appsFWB := func(raw float64) int64 {
+		c := math.Trunc(cap * q)
+		if raw < 0 {
+			raw = 0
+		} else if raw > c {
+			raw = c
+		}
+		return int64(math.Trunc(raw / q))
+	}
+	appsUnit := func(raw float64) int64 {
+		c := math.Trunc(cap * (p + q) / q)
+		if raw < 0 {
+			raw = 0
+		} else if raw > c {
+			raw = c
+		}
+		return int64(math.Trunc(raw / (p + q)))
+	}
+	appsOne := func(raw float64) int64 {
+		if raw < 0 {
+			raw = 0
+		} else if raw > cap {
+			raw = cap
+		}
+		return int64(math.Trunc(raw))
+	}
+
+	switch d.cfg.Arch {
+	case EDRAMArch:
+		readShort := amsr > bmsR
+		writeShort := amsw > bmsW
+		switch {
+		case readShort && !writeShort:
+			nifrm := q*amsr - p*amm
+			if nifrm > (p+q)*clean {
+				nifrm = (p + q) * clean
+			}
+			if nifrm < 0 {
+				nifrm = 0
+			}
+			return 0, 0, appsUnit(nifrm), 0, 0
+		case writeShort && !readShort:
+			nfwb := q*amsw - p*amm
+			if nfwb < 0 {
+				nfwb = 0
+			}
+			if nfwb > q*rm {
+				nfwb = q * rm
+			}
+			nwb := q*amsw - nfwb - p*amm
+			if nwb > (p+q)*wm {
+				nwb = (p + q) * wm
+			}
+			if nwb < 0 {
+				nwb = 0
+			}
+			return appsFWB(nfwb), appsUnit(nwb), 0, 0, 0
+		case readShort && writeShort:
+			nfwb := q*amsw - p*amm
+			if nfwb < 0 {
+				nfwb = 0
+			}
+			if nfwb > q*rm {
+				nfwb = q * rm
+			}
+			a := q*amsw - nfwb
+			r := q * amsr
+			m := q * amm
+			nwb := math.Trunc(((p+q)*a - p*r - p*m) / q)
+			nifrm := math.Trunc(((p+q)*r - p*a - p*m) / q)
+			if nwb > (2*p+q)*wm {
+				nwb = (2*p + q) * wm
+			}
+			if nwb < 0 {
+				nwb = 0
+			}
+			if nifrm > (2*p+q)*clean {
+				nifrm = (2*p + q) * clean
+			}
+			if nifrm < 0 {
+				nifrm = 0
+			}
+			nwb = math.Trunc(nwb * (p + q) / (2*p + q))
+			nifrm = math.Trunc(nifrm * (p + q) / (2*p + q))
+			return appsFWB(nfwb), appsUnit(nwb), appsUnit(nifrm), 0, 0
+		default:
+			return 0, 0, 0, 0, 0
+		}
+
+	case AlloyArch:
+		if ams <= bmsR {
+			return 0, 0, 0, 0, 0
+		}
+		nifrm := q*ams - p*amm
+		if nifrm <= 0 {
+			return 0, 0, 0, 0, 0
+		}
+		if nifrm > (p+q)*clean {
+			nifrm = (p + q) * clean
+		}
+		spare := (bmm - amm) - nifrm/(p+q)
+		nwt := math.Trunc(reserve * spare)
+		if nwt < 0 {
+			nwt = 0
+		}
+		if nwt > wm {
+			nwt = wm
+		}
+		return 0, 0, appsUnit(nifrm), 0, appsOne(nwt)
+
+	default: // SectoredArch
+		if ams <= bmsR {
+			return 0, 0, 0, 0, 0
+		}
+		nfwb := q*ams - p*amm
+		if nfwb <= 0 {
+			return 0, 0, 0, 0, 0
+		}
+		if max := q * (ams - bmsR); nfwb > max {
+			nfwb = max
+		}
+		var nwb, nifrm float64
+		if nfwb > q*rm {
+			nfwb = q * rm
+			nwb = q*ams - p*amm - q*rm
+			if nwb > (p+q)*wm {
+				nwb = (p + q) * wm
+				nifrm = q*ams - p*(amm+wm) - q*rm - q*wm
+				if nifrm > (p+q)*clean {
+					nifrm = (p + q) * clean
+				}
+				if nifrm < 0 {
+					nifrm = 0
+				}
+			}
+			if nwb < 0 {
+				nwb = 0
+			}
+		}
+		spare := (bmm - amm) - (nwb+nifrm)/(p+q)
+		nsfrm := math.Trunc(reserve * spare)
+		if nsfrm < 0 {
+			nsfrm = 0
+		}
+		return appsFWB(nfwb), appsUnit(nwb), appsUnit(nifrm), appsOne(nsfrm), 0
+	}
+}
+
+// drain counts how many applications of each technique the fast path
+// actually grants before its credit runs out.
+func drain(d *DAP) (fwb, wb, ifrm, sfrm, wt int64) {
+	for d.TakeFWB() {
+		fwb++
+	}
+	for d.TakeWB() {
+		wb++
+	}
+	for d.TakeIFRM(-1) {
+		ifrm++
+	}
+	for d.TakeSFRM() {
+		sfrm++
+	}
+	for d.TakeWT() {
+		wt++
+	}
+	return
+}
+
+// TestFastPathGrantsMatchFractionReference drives all three solver variants
+// over randomized window demand and checks, exactly:
+//   - the installed raw grants equal the float64 fraction-arithmetic
+//     reference (what the decision recorder reports), and
+//   - the compare-and-decrement fast path drains exactly that many
+//     applications, with Disable flags folding the respective grant to zero
+//     without disturbing the others.
+func TestFastPathGrantsMatchFractionReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1dea))
+	bwPoints := [][2]float64{{102.4, 38.4}, {160, 51.2}, {51.2, 51.2}, {320, 25.6}}
+	archs := []Arch{SectoredArch, AlloyArch, EDRAMArch}
+
+	for iter := 0; iter < 4000; iter++ {
+		arch := archs[iter%len(archs)]
+		bw := bwPoints[rng.Intn(len(bwPoints))]
+		cfg := DefaultConfig(arch, bw[0], bw[1])
+		disable := iter%5 == 4
+		if disable {
+			cfg.Disable.FWB = rng.Intn(2) == 1
+			cfg.Disable.WB = rng.Intn(2) == 1
+			cfg.Disable.IFRM = rng.Intn(2) == 1
+			cfg.Disable.SFRM = rng.Intn(2) == 1
+		}
+		eng := sim.New()
+		wc := &WindowCounts{}
+		d := NewDAP(cfg, eng, wc)
+
+		// Random demand, biased toward cache-saturating windows so the
+		// solver actually grants; all counts stay below 2^20.
+		n := func(hi int64) int64 { return rng.Int63n(hi) }
+		wc.AMSR = n(1 << 20)
+		wc.AMSW = n(1 << 16)
+		wc.AMM = n(1 << 14)
+		wc.Rm = n(1 << 14)
+		wc.Wm = n(1 << 14)
+		wc.CleanHits = n(1 << 14)
+		w := *wc
+
+		eng.RunUntil(eng.Now() + cfg.Window)
+
+		refFWB, refWB, refIFRM, refSFRM, refWT := refGrants(d, w)
+		den, unit := d.k.Den, d.k.Num+d.k.Den
+		gotFWB, gotWB := d.rawFWB/den, d.rawWB/unit
+		gotIFRM, gotSFRM, gotWT := d.rawIFRM/unit, d.rawSFRM, d.rawWT
+		if gotFWB != refFWB || gotWB != refWB || gotIFRM != refIFRM ||
+			gotSFRM != refSFRM || gotWT != refWT {
+			t.Fatalf("iter %d arch %d bw %v demand %+v:\n solver grants fwb=%d wb=%d ifrm=%d sfrm=%d wt=%d\n reference     fwb=%d wb=%d ifrm=%d sfrm=%d wt=%d",
+				iter, arch, bw, w,
+				gotFWB, gotWB, gotIFRM, gotSFRM, gotWT,
+				refFWB, refWB, refIFRM, refSFRM, refWT)
+		}
+
+		wantFWB, wantWB, wantIFRM, wantSFRM := refFWB, refWB, refIFRM, refSFRM
+		if cfg.Disable.FWB {
+			wantFWB = 0
+		}
+		if cfg.Disable.WB {
+			wantWB = 0
+		}
+		if cfg.Disable.IFRM {
+			wantIFRM = 0
+		}
+		if cfg.Disable.SFRM {
+			wantSFRM = 0
+		}
+		dFWB, dWB, dIFRM, dSFRM, dWT := drain(d)
+		if dFWB != wantFWB || dWB != wantWB || dIFRM != wantIFRM ||
+			dSFRM != wantSFRM || dWT != refWT {
+			t.Fatalf("iter %d arch %d disable %+v: drained fwb=%d wb=%d ifrm=%d sfrm=%d wt=%d, want %d/%d/%d/%d/%d",
+				iter, arch, cfg.Disable, dFWB, dWB, dIFRM, dSFRM, dWT,
+				wantFWB, wantWB, wantIFRM, wantSFRM, refWT)
+		}
+	}
+}
+
+// TestFastPathAllocs pins the per-access fast path and the window rollover
+// at zero heap allocations: Take* is compare-and-decrement on precomputed
+// integer thresholds, and the rollover (solve + setCredits + reschedule
+// through the typed windowTick handler) runs allocation-free once the
+// engine's event arena is warm.
+func TestFastPathAllocs(t *testing.T) {
+	cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+	eng := sim.New()
+	wc := &WindowCounts{}
+	d := NewDAP(cfg, eng, wc)
+	eng.RunUntil(eng.Now() + cfg.Window) // warm the event arena
+
+	if a := testing.AllocsPerRun(1000, func() {
+		wc.AMSR += 5000
+		wc.AMSW += 700
+		wc.AMM += 90
+		wc.Rm += 40
+		wc.Wm += 40
+		wc.CleanHits += 30
+		eng.RunUntil(eng.Now() + cfg.Window)
+		d.TakeFWB()
+		d.TakeWB()
+		d.TakeIFRM(-1)
+		d.TakeSFRM()
+		d.TakeWT()
+	}); a != 0 {
+		t.Fatalf("window rollover + Take* allocates %.1f times per window, want 0", a)
+	}
+}
+
+// TestThreadAwareWatermarkMatchesPrecomputedHalf checks the precomputed
+// ifrmHalf threshold against the definitional grant/2 watermark: a
+// latency-sensitive core must drain exactly the above-watermark half while
+// an insensitive core drains the full grant.
+func TestThreadAwareWatermarkMatchesPrecomputedHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		cfg := DefaultConfig(SectoredArch, 102.4, 38.4)
+		cfg.ThreadAware = true
+		cfg.LatencySensitive = []bool{true, false}
+		eng := sim.New()
+		wc := &WindowCounts{}
+		d := NewDAP(cfg, eng, wc)
+		wc.AMSR = rng.Int63n(1 << 18)
+		wc.AMSW = rng.Int63n(1 << 14)
+		wc.AMM = rng.Int63n(1 << 12)
+		wc.Rm = rng.Int63n(1 << 12)
+		wc.Wm = rng.Int63n(1 << 12)
+		wc.CleanHits = rng.Int63n(1 << 12)
+		eng.RunUntil(eng.Now() + cfg.Window)
+
+		grant, half, unit := d.ifrmGrant, d.ifrmHalf, d.k.Num+d.k.Den
+		if half != grant/2 {
+			t.Fatalf("ifrmHalf = %d, want grant/2 = %d", half, grant/2)
+		}
+		// Sensitive core: grants stop once the counter dips to grant/2.
+		var sens int64
+		for d.TakeIFRM(0) {
+			sens++
+		}
+		wantSens := int64(0)
+		for c := grant; c >= unit && c > half; c -= unit {
+			wantSens++
+		}
+		if sens != wantSens {
+			t.Fatalf("sensitive core drained %d IFRM, want %d (grant %d unit %d)", sens, wantSens, grant, unit)
+		}
+		// Insensitive core: drains whatever remains.
+		var ins int64
+		for d.TakeIFRM(1) {
+			ins++
+		}
+		if sens+ins != grant/unit {
+			t.Fatalf("total IFRM %d+%d != grant/unit %d", sens, ins, grant/unit)
+		}
+	}
+}

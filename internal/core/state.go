@@ -45,6 +45,7 @@ func (d *DAP) LoadState(dec *ckpt.Dec) error {
 	d.sfrm = dec.I64()
 	d.wt = dec.I64()
 	d.ifrmGrant = dec.I64()
+	d.ifrmHalf = d.ifrmGrant / 2
 	d.smooth.AMSR = dec.I64()
 	d.smooth.AMSW = dec.I64()
 	d.smooth.AMM = dec.I64()

@@ -31,10 +31,15 @@ func New(cfg Config, eng *sim.Engine, backend Backend) *CPU {
 	for i := 0; i < cfg.Cores; i++ {
 		co := &core{
 			cpu: c, id: i,
-			l1:   cache.NewBytes(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
-			l2:   cache.NewBytes(cfg.L2Bytes, cfg.L2Ways, cache.LRU),
-			pf:   newStridePrefetcher(cfg.PFStreams, cfg.PFDegree, cfg.PFDistance),
-			mshr: make(map[mem.Addr]*missEntry),
+			l1: cache.NewBytes(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
+			l2: cache.NewBytes(cfg.L2Bytes, cfg.L2Ways, cache.LRU),
+			pf: newStridePrefetcher(cfg.PFStreams, cfg.PFDegree, cfg.PFDistance),
+			// Pre-size the miss-tracking structures for their steady-state
+			// population (bounded by the ROB plus prefetch depth), so a
+			// fresh core's warm-up does not grow them one doubling at a
+			// time.
+			mshr:     make(map[mem.Addr]*missEntry, cfg.ROB),
+			inflight: make([]uint64, 0, cfg.ROB+1),
 		}
 		c.cores = append(c.cores, co)
 	}
@@ -258,14 +263,25 @@ func (f *fillOp) complete(t mem.Cycle) {
 	co.fillArrived(addr, t)
 }
 
+// missChunk is how many pooled miss records (missEntry, fillOp) an empty
+// free list allocates at once: one block per chunk instead of one object
+// per outstanding miss while a fresh core ramps to its steady-state depth.
+const missChunk = 32
+
 func (co *core) getFill(addr mem.Addr, pf bool) *fillOp {
 	var f *fillOp
 	if n := len(co.freeFill); n > 0 {
 		f = co.freeFill[n-1]
 		co.freeFill = co.freeFill[:n-1]
 	} else {
-		f = &fillOp{}
-		f.cb = f.complete
+		blk := make([]fillOp, missChunk)
+		for i := missChunk - 1; i >= 1; i-- {
+			co.freeFill = append(co.freeFill, &blk[i])
+		}
+		f = &blk[0]
+	}
+	if f.cb == nil {
+		f.cb = f.complete // bound once per record, on its first use
 	}
 	f.co, f.addr, f.pf = co, addr, pf
 	return f
@@ -274,7 +290,11 @@ func (co *core) getFill(addr mem.Addr, pf bool) *fillOp {
 func (co *core) getMiss() *missEntry {
 	n := len(co.freeMiss)
 	if n == 0 {
-		return &missEntry{}
+		blk := make([]missEntry, missChunk)
+		for i := missChunk - 1; i >= 1; i-- {
+			co.freeMiss = append(co.freeMiss, &blk[i])
+		}
+		return &blk[0]
 	}
 	e := co.freeMiss[n-1]
 	co.freeMiss = co.freeMiss[:n-1]
@@ -439,9 +459,9 @@ func (co *core) execute(a workload.Access, pos uint64) {
 	addr := a.Addr
 
 	// L1
-	if l := co.l1.Lookup(addr); l != nil {
+	if l := co.l1.Lookup(addr); l.Ok() {
 		if a.Store {
-			l.Dirty = true
+			l.MarkDirty()
 		}
 		return // L1 hits are free in this model
 	}
@@ -455,10 +475,10 @@ func (co *core) execute(a workload.Access, pos uint64) {
 	isLoad := !a.Store
 
 	switch {
-	case co.l2.Lookup(addr) != nil:
+	case co.l2.Lookup(addr).Ok():
 		co.installL1(addr, a.Store)
 		co.trackLoad(isLoad, a.Dependent, pos, cpu.cfg.L2Lat)
-	case cpu.l3.Lookup(addr) != nil:
+	case cpu.l3.Lookup(addr).Ok():
 		co.installL2(addr, false)
 		co.installL1(addr, a.Store)
 		co.trackLoad(isLoad, a.Dependent, pos, cpu.cfg.L3Lat)
@@ -539,7 +559,7 @@ func (co *core) issuePrefetches(cands []mem.Addr) {
 		if co.pfOut >= max {
 			return
 		}
-		if co.l2.Probe(p) != nil || cpu.l3.Probe(p) != nil {
+		if co.l2.Probe(p).Ok() || cpu.l3.Probe(p).Ok() {
 			continue
 		}
 		if _, dup := co.mshr[p]; dup {
@@ -553,18 +573,20 @@ func (co *core) issuePrefetches(cands []mem.Addr) {
 
 // installL1 inserts into L1; a dirty victim marks the (inclusive) L2 copy.
 func (co *core) installL1(addr mem.Addr, dirty bool) {
-	if l := co.l1.Probe(addr); l != nil {
-		l.Dirty = l.Dirty || dirty
+	if l := co.l1.Probe(addr); l.Ok() {
+		if dirty {
+			l.MarkDirty()
+		}
 		return
 	}
 	ev := co.l1.Insert(addr, dirty)
 	if ev.Valid && ev.Dirty {
 		si, _ := co.l1.Index(addr)
 		va := co.l1.LineAddr(si, ev.Tag)
-		if l := co.l2.Probe(va); l != nil {
-			l.Dirty = true
-		} else if l3 := co.cpu.l3.Probe(va); l3 != nil {
-			l3.Dirty = true
+		if l := co.l2.Probe(va); l.Ok() {
+			l.MarkDirty()
+		} else if l3 := co.cpu.l3.Probe(va); l3.Ok() {
+			l3.MarkDirty()
 		} else {
 			co.cpu.backend.Writeback(va, co.id)
 		}
@@ -574,8 +596,10 @@ func (co *core) installL1(addr mem.Addr, dirty bool) {
 // installL2 inserts into L2; victims invalidate L1 and dirty data settles in
 // the (inclusive) L3 copy.
 func (co *core) installL2(addr mem.Addr, dirty bool) {
-	if l := co.l2.Probe(addr); l != nil {
-		l.Dirty = l.Dirty || dirty
+	if l := co.l2.Probe(addr); l.Ok() {
+		if dirty {
+			l.MarkDirty()
+		}
 		return
 	}
 	ev := co.l2.Insert(addr, dirty)
@@ -589,8 +613,8 @@ func (co *core) installL2(addr mem.Addr, dirty bool) {
 		d = true
 	}
 	if d {
-		if l3 := co.cpu.l3.Probe(va); l3 != nil {
-			l3.Dirty = true
+		if l3 := co.cpu.l3.Probe(va); l3.Ok() {
+			l3.MarkDirty()
 		} else {
 			co.cpu.backend.Writeback(va, co.id)
 		}
@@ -601,7 +625,7 @@ func (co *core) installL2(addr mem.Addr, dirty bool) {
 // core's private caches and dirty lines are written back below.
 func (co *core) installL3(addr mem.Addr) {
 	cpu := co.cpu
-	if cpu.l3.Probe(addr) != nil {
+	if cpu.l3.Probe(addr).Ok() {
 		return
 	}
 	ev := cpu.l3.Insert(addr, false)
@@ -631,18 +655,18 @@ func ownerOf(a mem.Addr) int { return int(a/workload.CoreSpacing) - 1 }
 // warmExecute is the functional (timing-free) twin of execute.
 func (co *core) warmExecute(a workload.Access) {
 	addr := a.Addr
-	if l := co.l1.Lookup(addr); l != nil {
+	if l := co.l1.Lookup(addr); l.Ok() {
 		if a.Store {
-			l.Dirty = true
+			l.MarkDirty()
 		}
 		return
 	}
 	co.pfBuf = co.pf.observe(addr, co.pfBuf[:0]) // keep the prefetcher trained
-	if co.l2.Lookup(addr) != nil {
+	if co.l2.Lookup(addr).Ok() {
 		co.installL1w(addr, a.Store)
 		return
 	}
-	if co.cpu.l3.Lookup(addr) != nil {
+	if co.cpu.l3.Lookup(addr).Ok() {
 		co.installL2w(addr)
 		co.installL1w(addr, a.Store)
 		return
@@ -658,10 +682,10 @@ func (co *core) installL1w(addr mem.Addr, dirty bool) {
 	if ev.Valid && ev.Dirty {
 		si, _ := co.l1.Index(addr)
 		va := co.l1.LineAddr(si, ev.Tag)
-		if l := co.l2.Probe(va); l != nil {
-			l.Dirty = true
-		} else if l3 := co.cpu.l3.Probe(va); l3 != nil {
-			l3.Dirty = true
+		if l := co.l2.Probe(va); l.Ok() {
+			l.MarkDirty()
+		} else if l3 := co.cpu.l3.Probe(va); l3.Ok() {
+			l3.MarkDirty()
 		} else {
 			co.cpu.backend.WarmWriteback(va, co.id)
 		}
@@ -680,8 +704,8 @@ func (co *core) installL2w(addr mem.Addr) {
 		d = true
 	}
 	if d {
-		if l3 := co.cpu.l3.Probe(va); l3 != nil {
-			l3.Dirty = true
+		if l3 := co.cpu.l3.Probe(va); l3.Ok() {
+			l3.MarkDirty()
 		} else {
 			co.cpu.backend.WarmWriteback(va, co.id)
 		}

@@ -70,7 +70,14 @@ type channel struct {
 }
 
 func newChannel(cfg *Config, eng *sim.Engine, pool *mem.RequestPool) *channel {
-	ch := &channel{cfg: cfg, eng: eng, pool: pool, banks: make([]bank, cfg.Banks)}
+	ch := &channel{
+		cfg: cfg, eng: eng, pool: pool, banks: make([]bank, cfg.Banks),
+		// Queues sized for the usual backlog up front: growing them from
+		// nil one doubling at a time was the largest allocation site of a
+		// freshly built device.
+		readQ:  make([]queued, 0, 64),
+		writeQ: make([]queued, 0, 64),
+	}
 	for i := range ch.banks {
 		ch.banks[i].openRow = -1
 	}

@@ -52,17 +52,15 @@ func AlloyEffectiveGBps(peak float64) float64 { return peak * 2 / 3 }
 
 // dbc is the dirty-bit cache: a small SRAM set-associative structure whose
 // entries each hold the dirty bits of 64 consecutive direct-mapped sets.
+// Storage is structure-of-arrays: gv packs group<<1|valid so a probe is one
+// word compare per way over a contiguous row, with the dirty bits and LRU
+// ticks in parallel arrays touched only on the matching way.
 type dbc struct {
 	sets, ways int
-	entries    []dbcEntry
+	gv         []uint64 // group<<1 | valid
+	bits       []uint64 // dirty bit per set in the group
+	lru        []uint64
 	tick       uint64
-}
-
-type dbcEntry struct {
-	valid bool
-	group uint64
-	bits  uint64 // dirty bit per set in the group
-	lru   uint64
 }
 
 func newDBC(entries, ways int) *dbc {
@@ -73,42 +71,45 @@ func newDBC(entries, ways int) *dbc {
 	if sets <= 0 {
 		sets = 1
 	}
-	return &dbc{sets: sets, ways: ways, entries: make([]dbcEntry, sets*ways)}
+	n := sets * ways
+	return &dbc{
+		sets: sets, ways: ways,
+		gv: make([]uint64, n), bits: make([]uint64, n), lru: make([]uint64, n),
+	}
 }
 
-func (d *dbc) row(group uint64) []dbcEntry {
-	si := int(group % uint64(d.sets))
-	return d.entries[si*d.ways : (si+1)*d.ways]
-}
-
-// lookup returns the entry for a group, or nil on a DBC miss.
-func (d *dbc) lookup(group uint64) *dbcEntry {
+// lookup returns the entry index for a group, or -1 on a DBC miss.
+func (d *dbc) lookup(group uint64) int {
 	d.tick++
-	row := d.row(group)
-	for i := range row {
-		if row[i].valid && row[i].group == group {
-			row[i].lru = d.tick
-			return &row[i]
+	base := int(group%uint64(d.sets)) * d.ways
+	want := group<<1 | 1
+	for i := base; i < base+d.ways; i++ {
+		if d.gv[i] == want {
+			d.lru[i] = d.tick
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-// install allocates an entry for group with the given initial bits.
-func (d *dbc) install(group, bits uint64) *dbcEntry {
+// install allocates an entry for group with the given initial bits and
+// returns its index.
+func (d *dbc) install(group, bits uint64) int {
 	d.tick++
-	row := d.row(group)
-	v := &row[0]
-	for i := range row {
-		if !row[i].valid {
-			v = &row[i]
+	base := int(group%uint64(d.sets)) * d.ways
+	v := base
+	for i := base; i < base+d.ways; i++ {
+		if d.gv[i]&1 == 0 {
+			v = i
 			break
 		}
-		if row[i].lru < v.lru {
-			v = &row[i]
+		if d.lru[i] < d.lru[v] {
+			v = i
 		}
 	}
-	*v = dbcEntry{valid: true, group: group, bits: bits, lru: d.tick}
+	d.gv[v] = group<<1 | 1
+	d.bits[v] = bits
+	d.lru[v] = d.tick
 	return v
 }
 
@@ -215,11 +216,11 @@ func (op *alloyOp) mmDone(t mem.Cycle) {
 func (op *alloyOp) tadDone(t mem.Cycle) {
 	a := op.a
 	line := a.tags.Probe(op.addr)
-	hit := line != nil
+	hit := line.Ok()
 	a.trainPred(op.addr, op.coreID, hit)
 	if hit {
 		a.st.ReadHits++
-		line.State |= 1 // reused
+		line.OrState(1) // reused
 		a.tags.Lookup(op.addr)
 		op.sp.Decide(stats.BDTechNone)
 		op.sp.Serve(stats.BDSrcCache)
@@ -365,7 +366,7 @@ func (a *Alloy) dbcBitsFromTags(group uint64) uint64 {
 			break
 		}
 		dirty := false
-		a.tags.ForEachInSet(set, func(l *cache.Line) { dirty = dirty || l.Dirty })
+		a.tags.ForEachInSet(set, func(l cache.Ref) { dirty = dirty || l.Dirty() })
 		if dirty {
 			bits |= 1 << uint(i)
 		}
@@ -384,7 +385,7 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	_, group, bit := a.setOf(addr)
 
 	dbcClean := false
-	if e := a.dbc.lookup(group); e != nil && e.bits&bit == 0 {
+	if e := a.dbc.lookup(group); e >= 0 && a.dbc.bits[e]&bit == 0 {
 		dbcClean = true
 		a.wc.CleanHits++ // IFRM candidate
 	}
@@ -394,7 +395,7 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	if dbcClean && a.part.TakeIFRM(coreID) {
 		a.wc.AMSR++ // the TAD read this access would have demanded
 		a.st.ForcedMisses++
-		if a.tags.Probe(addr) != nil {
+		if a.tags.Probe(addr).Ok() {
 			a.st.ReadHits++
 		} else {
 			a.st.ReadMisses++
@@ -413,7 +414,7 @@ func (a *Alloy) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.Cyc
 	// skip the TAD probe (clean or absent lines are consistent with main
 	// memory, so the main-memory copy is always safe to use).
 	if a.cfg.BEAR && !predictedHit && dbcClean {
-		hit := a.tags.Probe(addr) != nil
+		hit := a.tags.Probe(addr).Ok()
 		a.trainPred(addr, coreID, hit)
 		if hit {
 			a.st.ReadHits++
@@ -465,8 +466,8 @@ func (a *Alloy) fill(addr mem.Addr, coreID int, dirty, probed bool) {
 	a.st.Fills++
 	_, group, bit := a.setOf(addr)
 	ev := a.tags.Insert(addr, dirty)
-	if nl := a.tags.Probe(addr); nl != nil {
-		nl.State = 0
+	if nl := a.tags.Probe(addr); nl.Ok() {
+		nl.SetState(0)
 	}
 	if ev.Valid {
 		// train the fill predictor on the victim's observed reuse
@@ -495,13 +496,13 @@ func (a *Alloy) fill(addr mem.Addr, coreID int, dirty, probed bool) {
 	}
 	a.tad(addr, mem.FillKind, -1, nil)
 	e := a.dbc.lookup(group)
-	if e == nil {
+	if e < 0 {
 		e = a.dbc.install(group, a.dbcBitsFromTags(group))
 	}
 	if dirty {
-		e.bits |= bit
+		a.dbc.bits[e] |= bit
 	} else {
-		e.bits &^= bit
+		a.dbc.bits[e] &^= bit
 	}
 }
 
@@ -528,7 +529,7 @@ func (a *Alloy) Writeback(addr mem.Addr, coreID int) {
 func (a *Alloy) applyWriteback(addr mem.Addr, coreID int, probed bool) {
 	_, group, bit := a.setOf(addr)
 	line := a.tags.Probe(addr)
-	if line == nil {
+	if !line.Ok() {
 		a.st.WriteMisses++
 		a.fill(addr, coreID, true, probed)
 		return
@@ -538,29 +539,29 @@ func (a *Alloy) applyWriteback(addr mem.Addr, coreID int, probed bool) {
 	// DAP write-through: spend residual main-memory bandwidth keeping
 	// blocks clean so forced misses stay applicable.
 	wt := a.part.TakeWT()
-	line.Dirty = !wt
-	line.State |= 1
+	line.SetDirty(!wt)
+	line.OrState(1)
 	a.tags.Lookup(addr)
 	a.tad(addr, mem.WritebackKind, coreID, nil)
 	if wt {
 		a.mm.Access(addr, mem.WritebackKind, coreID, nil)
 	}
 	e := a.dbc.lookup(group)
-	if e == nil {
+	if e < 0 {
 		e = a.dbc.install(group, a.dbcBitsFromTags(group))
 	}
 	if wt {
-		e.bits &^= bit
+		a.dbc.bits[e] &^= bit
 	} else {
-		e.bits |= bit
+		a.dbc.bits[e] |= bit
 	}
 }
 
 // WarmRead implements cpu.Backend's functional path.
 func (a *Alloy) WarmRead(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
-	if l := a.tags.Lookup(addr); l != nil {
-		l.State |= 1
+	if l := a.tags.Lookup(addr); l.Ok() {
+		l.OrState(1)
 		return
 	}
 	a.tags.Insert(addr, false)
@@ -570,13 +571,13 @@ func (a *Alloy) WarmRead(addr mem.Addr, coreID int) {
 func (a *Alloy) WarmWriteback(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
 	_, group, bit := a.setOf(addr)
-	if l := a.tags.Lookup(addr); l != nil {
-		l.Dirty = true
+	if l := a.tags.Lookup(addr); l.Ok() {
+		l.MarkDirty()
 	} else {
 		a.tags.Insert(addr, true)
 	}
-	if e := a.dbc.lookup(group); e != nil {
-		e.bits |= bit
+	if e := a.dbc.lookup(group); e >= 0 {
+		a.dbc.bits[e] |= bit
 	} else {
 		a.dbc.install(group, a.dbcBitsFromTags(group))
 	}

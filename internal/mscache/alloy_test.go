@@ -67,7 +67,7 @@ func TestAlloyDirectMappedConflict(t *testing.T) {
 	y := x + mem.Addr(a.tags.Sets*mem.LineBytes) // same set
 	areadLat(a, eng, x)
 	areadLat(a, eng, y)
-	if a.tags.Probe(x) != nil {
+	if a.tags.Probe(x).Ok() {
 		t.Fatal("direct-mapped conflict must evict x")
 	}
 	areadLat(a, eng, x)
@@ -86,7 +86,7 @@ func TestAlloyBaselineWritebackFetchesTAD(t *testing.T) {
 	if a.st.MetaReads != metaBefore+1 {
 		t.Fatal("baseline Alloy write must fetch the TAD first")
 	}
-	if l := a.tags.Probe(addr); l == nil || !l.Dirty {
+	if l := a.tags.Probe(addr); !l.Ok() || !l.Dirty() {
 		t.Fatal("write hit must mark dirty")
 	}
 }
@@ -126,7 +126,7 @@ func TestAlloyDBCTracksDirtySets(t *testing.T) {
 	eng.Drain()
 	_, group, bit := a.setOf(addr)
 	e := a.dbc.lookup(group)
-	if e == nil || e.bits&bit == 0 {
+	if e < 0 || a.dbc.bits[e]&bit == 0 {
 		t.Fatal("write must set the DBC dirty bit")
 	}
 }
@@ -181,11 +181,11 @@ func TestAlloyWriteThroughKeepsClean(t *testing.T) {
 	if mm.Stats().Writes <= w {
 		t.Fatal("write-through must copy the write to main memory")
 	}
-	if l := a.tags.Probe(addr); l == nil || l.Dirty {
+	if l := a.tags.Probe(addr); !l.Ok() || l.Dirty() {
 		t.Fatal("written-through line must stay clean")
 	}
 	_, group, bit := a.setOf(addr)
-	if e := a.dbc.lookup(group); e == nil || e.bits&bit != 0 {
+	if e := a.dbc.lookup(group); e < 0 || a.dbc.bits[e]&bit != 0 {
 		t.Fatal("DBC must mark the set clean after write-through")
 	}
 }
@@ -232,12 +232,12 @@ func TestDBCReplacement(t *testing.T) {
 		d.install(g, uint64(g))
 	}
 	// recently installed groups must be present, older ones evicted
-	if d.lookup(15) == nil || d.lookup(14) == nil {
+	if d.lookup(15) < 0 || d.lookup(14) < 0 {
 		t.Fatal("recent groups must survive")
 	}
 	found := 0
 	for g := uint64(0); g < 16; g++ {
-		if d.lookup(g) != nil {
+		if d.lookup(g) >= 0 {
 			found++
 		}
 	}

@@ -148,11 +148,11 @@ func edramReadTag(ctx any, _ uint64, _ mem.Cycle) {
 	e.putOp(op)
 	bit := e.blockBit(addr)
 	line := e.tags.Probe(addr)
-	if line != nil && line.VMask&bit != 0 {
+	if line.Ok() && line.VMask()&bit != 0 {
 		e.st.ReadHits++
 		e.wc.AMSR++
 		e.tags.Lookup(addr)
-		dirty := line.DMask&bit != 0
+		dirty := line.DMask()&bit != 0
 		if !dirty {
 			e.wc.CleanHits++
 			if e.part.TakeIFRM(coreID) {
@@ -180,9 +180,9 @@ func edramReadTag(ctx any, _ uint64, _ mem.Cycle) {
 
 // handleFill installs a missed block via the write channels; fills consult
 // FWB credits. Unlike the DRAM cache, fills never steal read bandwidth.
-func (e *EDRAM) handleFill(addr mem.Addr, line *cache.Line) {
+func (e *EDRAM) handleFill(addr mem.Addr, line cache.Ref) {
 	bit := e.blockBit(addr)
-	if line == nil {
+	if !line.Ok() {
 		ev := e.tags.Insert(addr, false)
 		if ev.Valid {
 			e.evictSector(addr, ev)
@@ -195,8 +195,8 @@ func (e *EDRAM) handleFill(addr mem.Addr, line *cache.Line) {
 		return
 	}
 	e.st.Fills++
-	line.VMask |= bit
-	line.DMask &^= bit
+	line.OrVMask(bit)
+	line.ClearDMask(bit)
 	e.wdev.Access(addr, mem.FillKind, -1, nil)
 }
 
@@ -231,31 +231,31 @@ func edramWBTag(ctx any, _ uint64, _ mem.Cycle) {
 	e.wc.AMSW++
 	bit := e.blockBit(addr)
 	line := e.tags.Probe(addr)
-	present := line != nil && line.VMask&bit != 0
+	present := line.Ok() && line.VMask()&bit != 0
 	if e.part.TakeWB() {
 		e.st.WriteBypasses++
 		e.mm.Access(addr, mem.WritebackKind, coreID, nil)
 		if present {
-			line.VMask &^= bit
-			line.DMask &^= bit
+			line.ClearVMask(bit)
+			line.ClearDMask(bit)
 		}
 		return
 	}
 	if present {
 		e.st.WriteHits++
-		line.DMask |= bit
+		line.OrDMask(bit)
 		e.tags.Lookup(addr)
 	} else {
 		e.st.WriteMisses++
-		if line == nil {
+		if !line.Ok() {
 			ev := e.tags.Insert(addr, false)
 			if ev.Valid {
 				e.evictSector(addr, ev)
 			}
 			line = e.tags.Probe(addr)
 		}
-		line.VMask |= bit
-		line.DMask |= bit
+		line.OrVMask(bit)
+		line.OrDMask(bit)
 	}
 	e.wdev.Access(addr, mem.WritebackKind, coreID, nil)
 }
@@ -264,21 +264,21 @@ func edramWBTag(ctx any, _ uint64, _ mem.Cycle) {
 func (e *EDRAM) WarmRead(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
 	bit := e.blockBit(addr)
-	if line := e.tags.Probe(addr); line != nil {
+	if line := e.tags.Probe(addr); line.Ok() {
 		e.tags.Lookup(addr)
-		line.VMask |= bit
+		line.OrVMask(bit)
 		return
 	}
 	e.tags.Insert(addr, false)
-	e.tags.Probe(addr).VMask |= bit
+	e.tags.Probe(addr).OrVMask(bit)
 }
 
 // WarmWriteback implements cpu.Backend's functional path.
 func (e *EDRAM) WarmWriteback(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
 	e.WarmRead(addr, coreID)
-	if line := e.tags.Probe(addr); line != nil {
-		line.DMask |= e.blockBit(addr)
+	if line := e.tags.Probe(addr); line.Ok() {
+		line.OrDMask(e.blockBit(addr))
 	}
 }
 

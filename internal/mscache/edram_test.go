@@ -74,7 +74,7 @@ func TestEDRAMWritebackDirty(t *testing.T) {
 	e.Writeback(a, 0)
 	eng.Drain()
 	line := e.tags.Probe(a)
-	if line == nil || line.DMask&e.blockBit(a) == 0 {
+	if !line.Ok() || line.DMask()&e.blockBit(a) == 0 {
 		t.Fatal("writeback must install dirty")
 	}
 	if e.wdev.Stats().Writes != 1 {
@@ -117,7 +117,7 @@ func TestEDRAMIFRMAndWB(t *testing.T) {
 	if e.st.WriteBypasses != 1 || mm.Stats().Writes <= mmW {
 		t.Fatal("WB must steer the write to memory")
 	}
-	if l := e.tags.Probe(a); l != nil && l.VMask&e.blockBit(a) != 0 {
+	if l := e.tags.Probe(a); l.Ok() && l.VMask()&e.blockBit(a) != 0 {
 		t.Fatal("bypassed write must invalidate the cached block")
 	}
 }

@@ -113,14 +113,25 @@ const (
 	opWriteThrough
 )
 
+// tagOpChunk is how many pooled tagOps an empty free list allocates at
+// once, so a fresh controller ramps to its steady-state depth in one block
+// allocation instead of one per outstanding lookup.
+const tagOpChunk = 32
+
 func (s *Sectored) getTagOp(addr mem.Addr, coreID int, stage uint8, sp *obs.Span, done func(mem.Cycle)) *tagOp {
 	var op *tagOp
 	if n := len(s.freeTag); n > 0 {
 		op = s.freeTag[n-1]
 		s.freeTag = s.freeTag[:n-1]
 	} else {
-		op = &tagOp{}
-		op.cb = op.tagDone
+		blk := make([]tagOp, tagOpChunk)
+		for i := tagOpChunk - 1; i >= 1; i-- {
+			s.freeTag = append(s.freeTag, &blk[i])
+		}
+		op = &blk[0]
+	}
+	if op.cb == nil {
+		op.cb = op.tagDone // bound once per record, on its first use
 	}
 	op.s, op.addr, op.coreID, op.stage, op.sp, op.done = s, addr, coreID, stage, sp, done
 	op.sfrm, op.inst = false, false
@@ -185,9 +196,9 @@ func (s *Sectored) getFpOp(ba mem.Addr, b uint64) *fpOp {
 func (f *fpOp) fill(mem.Cycle) {
 	s, ba, b := f.s, f.ba, f.b
 	s.freeFp = append(s.freeFp, f)
-	if cur := s.tags.Probe(ba); cur != nil {
+	if cur := s.tags.Probe(ba); cur.Ok() {
 		s.st.Fills++
-		cur.VMask |= b
+		cur.OrVMask(b)
 		s.dev.Access(ba, mem.FillKind, -1, nil)
 	}
 }
@@ -282,13 +293,13 @@ func (s *Sectored) StartBATMAN() {
 
 // disableSet cleans and invalidates one cache set (BATMAN).
 func (s *Sectored) disableSet(set int) {
-	s.tags.InvalidateSet(set, func(l *cache.Line) {
-		base := s.tags.LineAddr(set, l.Tag)
-		forEachBit(l.DMask, func(i uint) {
+	s.tags.InvalidateSet(set, func(l cache.Ref) {
+		base := s.tags.LineAddr(set, l.Tag())
+		forEachBit(l.DMask(), func(i uint) {
 			s.writeoutDirtyBlock(blockAddr(base, s.sectorBlocks, i))
 		})
 		if s.fp != nil {
-			s.fp.record(uint64(base)/s.sectorBlocks/mem.LineBytes, l.VMask)
+			s.fp.record(uint64(base)/s.sectorBlocks/mem.LineBytes, l.VMask())
 		}
 	})
 }
@@ -316,8 +327,8 @@ func (s *Sectored) blockBit(a mem.Addr) uint64 {
 // entry, else an immediate in-DRAM metadata update.
 func (s *Sectored) markMetaDirty(a mem.Addr) {
 	if s.tagCache != nil {
-		if e := s.tagCache.Probe(a); e != nil {
-			e.Dirty = true
+		if e := s.tagCache.Probe(a); e.Ok() {
+			e.MarkDirty()
 			return
 		}
 	}
@@ -340,7 +351,7 @@ func (s *Sectored) tagPath(op *tagOp, isRead bool) {
 		s.dev.Access(a, mem.MetaReadKind, op.coreID, op.cb)
 		return
 	}
-	if e := s.tagCache.Lookup(a); e != nil {
+	if s.tagCache.Lookup(a).Ok() {
 		s.st.TagCacheHits++
 		s.eng.AfterArg(s.cfg.TagCacheLat, tagOpRun, op, 0)
 		return
@@ -394,7 +405,7 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 			line := s.tags.Probe(addr)
 			if s.steerMM() {
 				s.st.ForcedMisses++
-				if line != nil && line.VMask&s.blockBit(addr) != 0 {
+				if line.Ok() && line.VMask()&s.blockBit(addr) != 0 {
 					s.st.ReadHits++
 				} else {
 					s.st.ReadMisses++
@@ -413,9 +424,9 @@ func (s *Sectored) Read(addr mem.Addr, coreID int, kind mem.Kind, done func(mem.
 
 // readTagKnown finishes a demand read once the sector's metadata is known
 // (the opRead continuation of tagPath).
-func (s *Sectored) readTagKnown(addr mem.Addr, coreID int, sfrm bool, sp *obs.Span, done func(mem.Cycle), line *cache.Line) {
+func (s *Sectored) readTagKnown(addr mem.Addr, coreID int, sfrm bool, sp *obs.Span, done func(mem.Cycle), line cache.Ref) {
 	bit := s.blockBit(addr)
-	present := line != nil && line.VMask&bit != 0
+	present := line.Ok() && line.VMask()&bit != 0
 	if s.SBD != nil {
 		s.SBD.NoteReadOutcome(present)
 	}
@@ -426,7 +437,7 @@ func (s *Sectored) readTagKnown(addr mem.Addr, coreID int, sfrm bool, sp *obs.Sp
 		s.st.ReadHits++
 		s.wc.AMSR++         // the data read this hit demands
 		s.tags.Lookup(addr) // NRU recency
-		dirty := line.DMask&bit != 0
+		dirty := line.DMask()&bit != 0
 		if !dirty {
 			s.wc.CleanHits++
 		}
@@ -476,9 +487,9 @@ func (s *Sectored) steerMM() bool {
 // handleFill performs read-miss fill handling: fill the block if the sector
 // is resident, else allocate a sector (evicting a victim) and trigger the
 // footprint fetch. Every intended fill consults FWB credits.
-func (s *Sectored) handleFill(addr mem.Addr, line *cache.Line) {
+func (s *Sectored) handleFill(addr mem.Addr, line cache.Ref) {
 	bit := s.blockBit(addr)
-	if line != nil {
+	if line.Ok() {
 		// sector resident, block absent: a simple block fill
 		s.wc.AMSW++
 		if s.part.TakeFWB() {
@@ -486,8 +497,8 @@ func (s *Sectored) handleFill(addr mem.Addr, line *cache.Line) {
 			return
 		}
 		s.st.Fills++
-		line.VMask |= bit
-		line.DMask &^= bit
+		line.OrVMask(bit)
+		line.ClearDMask(bit)
 		s.dev.Access(addr, mem.FillKind, -1, nil)
 		s.markMetaDirty(addr)
 		return
@@ -506,7 +517,7 @@ func (s *Sectored) handleFill(addr mem.Addr, line *cache.Line) {
 		s.st.FillBypasses++
 	} else {
 		s.st.Fills++
-		nl.VMask |= bit
+		nl.OrVMask(bit)
 		s.dev.Access(addr, mem.FillKind, -1, nil)
 	}
 
@@ -578,36 +589,36 @@ func (s *Sectored) Writeback(addr mem.Addr, coreID int) {
 
 // wbTagKnown finishes a dirty L3 eviction once the sector's metadata is
 // known (the opWriteback continuation of tagPath).
-func (s *Sectored) wbTagKnown(addr mem.Addr, coreID int, line *cache.Line) {
+func (s *Sectored) wbTagKnown(addr mem.Addr, coreID int, line cache.Ref) {
 	bit := s.blockBit(addr)
-	present := line != nil && line.VMask&bit != 0
+	present := line.Ok() && line.VMask()&bit != 0
 	s.wc.AMSW++ // the cache write this eviction demands
 	if s.part.TakeWB() {
 		s.st.WriteBypasses++
 		s.mm.Access(addr, mem.WritebackKind, coreID, nil)
 		if present {
 			// the stale cache copy must be invalidated
-			line.VMask &^= bit
-			line.DMask &^= bit
+			line.ClearVMask(bit)
+			line.ClearDMask(bit)
 			s.markMetaDirty(addr)
 		}
 		return
 	}
 	if present {
 		s.st.WriteHits++
-		line.DMask |= bit
+		line.OrDMask(bit)
 		s.tags.Lookup(addr)
 	} else {
 		s.st.WriteMisses++
-		if line == nil {
+		if !line.Ok() {
 			ev := s.tags.Insert(addr, false)
 			if ev.Valid {
 				s.evictSector(addr, ev)
 			}
 			line = s.tags.Probe(addr)
 		}
-		line.VMask |= bit
-		line.DMask |= bit
+		line.OrVMask(bit)
+		line.OrDMask(bit)
 	}
 	s.markMetaDirty(addr)
 	s.dev.Access(addr, mem.WritebackKind, coreID, nil)
@@ -622,24 +633,24 @@ func (s *Sectored) writeThrough(addr mem.Addr, coreID int) {
 
 // wtTagKnown finishes an SBD write-through once the sector's metadata is
 // known (the opWriteThrough continuation of tagPath).
-func (s *Sectored) wtTagKnown(addr mem.Addr, coreID int, line *cache.Line) {
+func (s *Sectored) wtTagKnown(addr mem.Addr, coreID int, line cache.Ref) {
 	bit := s.blockBit(addr)
 	s.wc.AMSW++
 	s.mm.Access(addr, mem.WritebackKind, coreID, nil)
-	if line != nil && line.VMask&bit != 0 {
+	if line.Ok() && line.VMask()&bit != 0 {
 		s.st.WriteHits++
 	} else {
 		s.st.WriteMisses++
-		if line == nil {
+		if !line.Ok() {
 			ev := s.tags.Insert(addr, false)
 			if ev.Valid {
 				s.evictSector(addr, ev)
 			}
 			line = s.tags.Probe(addr)
 		}
-		line.VMask |= bit
+		line.OrVMask(bit)
 	}
-	line.DMask &^= bit // clean: main memory holds the latest copy
+	line.ClearDMask(bit) // clean: main memory holds the latest copy
 	s.tags.Lookup(addr)
 	s.markMetaDirty(addr)
 	s.dev.Access(addr, mem.WritebackKind, coreID, nil)
@@ -651,10 +662,10 @@ func (s *Sectored) cleanPage(page mem.Addr) {
 	base := page << 12
 	for off := mem.Addr(0); off < 4096; off += mem.LineBytes {
 		a := base + off
-		if l := s.tags.Probe(a); l != nil {
+		if l := s.tags.Probe(a); l.Ok() {
 			bit := s.blockBit(a)
-			if l.DMask&bit != 0 {
-				l.DMask &^= bit
+			if l.DMask()&bit != 0 {
+				l.ClearDMask(bit)
 				s.writeoutDirtyBlock(a)
 				s.markMetaDirty(a)
 			}
@@ -665,15 +676,13 @@ func (s *Sectored) cleanPage(page mem.Addr) {
 // WarmRead implements cpu.Backend's functional warmup path.
 func (s *Sectored) WarmRead(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
-	if s.tagCache != nil && s.tagCache.Lookup(addr) == nil {
+	if s.tagCache != nil && !s.tagCache.Lookup(addr).Ok() {
 		s.installTagEntry(addr)
 	}
 	bit := s.blockBit(addr)
-	if line := s.tags.Probe(addr); line != nil {
+	if line := s.tags.Probe(addr); line.Ok() {
 		s.tags.Lookup(addr)
-		if line.VMask&bit == 0 {
-			line.VMask |= bit
-		}
+		line.OrVMask(bit)
 		return
 	}
 	ev := s.tags.Insert(addr, false)
@@ -688,9 +697,9 @@ func (s *Sectored) WarmRead(addr mem.Addr, coreID int) {
 		}
 	}
 	nl := s.tags.Probe(addr)
-	nl.VMask |= bit
+	nl.OrVMask(bit)
 	if s.fp != nil {
-		nl.VMask |= s.fp.predict(s.sectorOf(addr))
+		nl.OrVMask(s.fp.predict(s.sectorOf(addr)))
 	}
 }
 
@@ -698,8 +707,8 @@ func (s *Sectored) WarmRead(addr mem.Addr, coreID int) {
 func (s *Sectored) WarmWriteback(addr mem.Addr, coreID int) {
 	addr = addr.LineAligned()
 	s.WarmRead(addr, coreID)
-	if line := s.tags.Probe(addr); line != nil {
-		line.DMask |= s.blockBit(addr)
+	if line := s.tags.Probe(addr); line.Ok() {
+		line.OrDMask(s.blockBit(addr))
 	}
 }
 

@@ -55,7 +55,7 @@ func TestSectoredFillMakesBlockValid(t *testing.T) {
 	a := mem.Addr(0x20000)
 	read(s, eng, a)
 	line := s.tags.Probe(a)
-	if line == nil || line.VMask&s.blockBit(a) == 0 {
+	if !line.Ok() || line.VMask()&s.blockBit(a) == 0 {
 		t.Fatal("read miss must allocate the sector and fill the block")
 	}
 	if s.st.Fills == 0 {
@@ -69,7 +69,7 @@ func TestSectoredWritebackMakesDirty(t *testing.T) {
 	s.Writeback(a, 0)
 	eng.Drain()
 	line := s.tags.Probe(a)
-	if line == nil || line.DMask&s.blockBit(a) == 0 {
+	if !line.Ok() || line.DMask()&s.blockBit(a) == 0 {
 		t.Fatal("writeback must install a dirty block")
 	}
 	if s.st.WriteMisses != 1 {
@@ -165,8 +165,8 @@ func TestFootprintPrefetchOnReallocation(t *testing.T) {
 		t.Fatalf("footprint fetch expected ~3 fills, got %d", s.st.Fills-fillsBefore)
 	}
 	line := s.tags.Probe(base)
-	if line == nil || line.VMask&0b111 != 0b111 {
-		t.Fatalf("predicted footprint not restored: VMask=%b", line.VMask)
+	if !line.Ok() || line.VMask()&0b111 != 0b111 {
+		t.Fatalf("predicted footprint not restored: VMask=%b", line.VMask())
 	}
 }
 
@@ -214,7 +214,7 @@ func TestFWBDropsFill(t *testing.T) {
 		t.Fatal("fill must be bypassed")
 	}
 	line := s.tags.Probe(a)
-	if line != nil && line.VMask&s.blockBit(a) != 0 {
+	if line.Ok() && line.VMask()&s.blockBit(a) != 0 {
 		t.Fatal("bypassed fill must leave the block invalid")
 	}
 	// the next read of the same block must miss again
@@ -239,7 +239,7 @@ func TestWBSteersWriteToMemoryAndInvalidates(t *testing.T) {
 		t.Fatal("bypassed write must go to main memory")
 	}
 	line := s.tags.Probe(a)
-	if line != nil && line.VMask&s.blockBit(a) != 0 {
+	if line.Ok() && line.VMask()&s.blockBit(a) != 0 {
 		t.Fatal("stale cached copy must be invalidated on write bypass")
 	}
 }
@@ -332,10 +332,10 @@ func TestWarmPathsPopulateState(t *testing.T) {
 		t.Fatal("warm paths must not generate traffic")
 	}
 	line := s.tags.Probe(a)
-	if line == nil || line.VMask&s.blockBit(a) == 0 {
+	if !line.Ok() || line.VMask()&s.blockBit(a) == 0 {
 		t.Fatal("warm read must install the block")
 	}
-	if line.DMask&s.blockBit(a+mem.LineBytes) == 0 {
+	if line.DMask()&s.blockBit(a+mem.LineBytes) == 0 {
 		t.Fatal("warm writeback must mark dirty")
 	}
 	// warmed blocks hit in the timed path
@@ -362,7 +362,7 @@ func TestBATMANDisabledSetBypassesCache(t *testing.T) {
 	if mm.Stats().Reads <= mmR {
 		t.Fatal("disabled set must read from memory")
 	}
-	if s.tags.Probe(a) != nil {
+	if s.tags.Probe(a).Ok() {
 		t.Fatal("disabled set must not allocate")
 	}
 }

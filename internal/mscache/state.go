@@ -53,13 +53,9 @@ func (a *Alloy) SaveState(e *ckpt.Enc) {
 	e.U32(uint32(a.dbc.sets))
 	e.U32(uint32(a.dbc.ways))
 	e.U64(a.dbc.tick)
-	for i := range a.dbc.entries {
-		en := &a.dbc.entries[i]
-		e.Bool(en.valid)
-		e.U64(en.group)
-		e.U64(en.bits)
-		e.U64(en.lru)
-	}
+	e.U64s(a.dbc.gv)
+	e.U64s(a.dbc.bits)
+	e.U64s(a.dbc.lru)
 	e.Bytes(a.pred)
 	e.Bytes(a.fillPred)
 }
@@ -77,13 +73,9 @@ func (a *Alloy) LoadState(d *ckpt.Dec) error {
 		return fmt.Errorf("mscache: checkpoint DBC %dx%d != built %dx%d", sets, ways, a.dbc.sets, a.dbc.ways)
 	}
 	a.dbc.tick = d.U64()
-	for i := range a.dbc.entries {
-		en := &a.dbc.entries[i]
-		en.valid = d.Bool()
-		en.group = d.U64()
-		en.bits = d.U64()
-		en.lru = d.U64()
-	}
+	d.U64s(a.dbc.gv)
+	d.U64s(a.dbc.bits)
+	d.U64s(a.dbc.lru)
 	pred, fillPred := d.Bytes(), d.Bytes()
 	if err := d.Err(); err != nil {
 		return err
@@ -113,15 +105,17 @@ func (e *EDRAM) LoadState(d *ckpt.Dec) error {
 // saveFootprint serializes the footprint history table sorted by sector so
 // the byte stream is deterministic despite map iteration order.
 func saveFootprint(e *ckpt.Enc, f *footprintTable) {
-	keys := make([]uint64, 0, len(f.m))
-	for k := range f.m {
-		keys = append(keys, k)
+	idx := make([]int, 0, f.n)
+	for i, k := range f.keys {
+		if k != 0 {
+			idx = append(idx, i)
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	e.U32(uint32(len(keys)))
-	for _, k := range keys {
-		e.U64(k)
-		e.U64(f.m[k])
+	sort.Slice(idx, func(a, b int) bool { return f.keys[idx[a]] < f.keys[idx[b]] })
+	e.U32(uint32(len(idx)))
+	for _, i := range idx {
+		e.U64(f.keys[i] - 1)
+		e.U64(f.vals[i])
 	}
 }
 
@@ -133,10 +127,13 @@ func loadFootprint(d *ckpt.Dec, f *footprintTable) error {
 	if n > f.cap {
 		return fmt.Errorf("mscache: checkpoint footprint table has %d entries, cap %d", n, f.cap)
 	}
-	f.m = make(map[uint64]uint64, n)
+	for i := range f.keys {
+		f.keys[i] = 0
+	}
+	f.n = 0
 	for i := 0; i < n; i++ {
 		k := d.U64()
-		f.m[k] = d.U64()
+		f.record(k, d.U64())
 	}
 	return d.Err()
 }

@@ -111,10 +111,10 @@ func (e *EDRAM) AuditInvariants() error {
 func auditSectorMasks(tags *cache.Cache) error {
 	for set := 0; set < tags.Sets; set++ {
 		var bad error
-		tags.ForEachInSet(set, func(l *cache.Line) {
-			if bad == nil && l.DMask&^l.VMask != 0 {
+		tags.ForEachInSet(set, func(l cache.Ref) {
+			if bad == nil && l.DMask()&^l.VMask() != 0 {
 				bad = fmt.Errorf("sector set %d tag %#x: dirty mask %#x exceeds valid mask %#x",
-					set, l.Tag, l.DMask, l.VMask)
+					set, l.Tag(), l.DMask(), l.VMask())
 			}
 		})
 		if bad != nil {

@@ -46,14 +46,23 @@ const (
 	wheelWords = wheelSize / 64 // occupancy-bitmap words
 )
 
-// bucket holds the events of one wheel slot. Because every resident event
-// satisfies now <= when < now+wheelSize, a slot maps to exactly one
-// absolute cycle at any moment, and appending preserves seq order — so a
-// bucket is always sorted by (when, seq) with no per-push work. head
-// avoids memmoves when draining; the backing array is reused forever.
-type bucket struct {
-	evs  []event
-	head int
+// eventNode is one arena cell: an event plus the index of the next node in
+// its wheel slot's list (or the free list), -1 terminating either. All wheel
+// events live in a single growable arena and slots hold index-linked FIFO
+// lists into it, so a fresh engine pays one amortized arena allocation for
+// its entire lifetime instead of one slice growth per warming bucket.
+type eventNode struct {
+	ev   event
+	next int32
+}
+
+// bucketList is one wheel slot: head/tail indices into the arena, -1 when
+// empty. Because every resident event satisfies now <= when < now+wheelSize,
+// a slot maps to exactly one absolute cycle at any moment, and tail-append
+// preserves seq order — so a slot's list is always sorted by (when, seq)
+// with no per-push work.
+type bucketList struct {
+	head, tail int32
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (when, seq). It
@@ -162,7 +171,9 @@ type Engine struct {
 	now mem.Cycle
 	seq uint64
 
-	buckets  []bucket           // wheel ring, allocated on first use
+	slots    []bucketList       // wheel ring, allocated on first use
+	arena    []eventNode        // node storage for every wheel-resident event
+	free     int32              // LIFO free-list head into arena, -1 when empty
 	occ      [wheelWords]uint64 // one bit per non-empty bucket
 	nwheel   int                // events resident in the wheel
 	overflow eventHeap          // events >= wheelSize cycles ahead
@@ -198,21 +209,34 @@ func (e *Engine) Clock() func() mem.Cycle { return e.Now }
 // a far-future event is simply served from the heap when its time comes.
 func (e *Engine) schedule(ev event) {
 	if ev.when-e.now < wheelSize {
-		if e.buckets == nil {
-			// One backing array seeds every bucket with capacity 1 (the
-			// common steady-state occupancy), so rotating through fresh
-			// slots costs no per-bucket warm-up allocation. The cap on
-			// each sub-slice stops a growing bucket from overwriting its
-			// neighbour: append beyond one event reallocates privately.
-			e.buckets = make([]bucket, wheelSize)
-			backing := make([]event, wheelSize)
-			for i := range e.buckets {
-				e.buckets[i].evs = backing[i : i : i+1]
+		if e.slots == nil {
+			e.slots = make([]bucketList, wheelSize)
+			for i := range e.slots {
+				e.slots[i] = bucketList{head: -1, tail: -1}
 			}
+			e.free = -1
+			e.arena = make([]eventNode, 0, 1024)
+		}
+		// Take a node from the free list, or append to the arena — append
+		// before linking, so a reallocating append can never leave a slot
+		// pointing into the stale backing array.
+		var n int32
+		if e.free >= 0 {
+			n = e.free
+			e.free = e.arena[n].next
+			e.arena[n] = eventNode{ev: ev, next: -1}
+		} else {
+			e.arena = append(e.arena, eventNode{ev: ev, next: -1})
+			n = int32(len(e.arena) - 1)
 		}
 		slot := int(ev.when) & wheelMask
-		b := &e.buckets[slot]
-		b.evs = append(b.evs, ev)
+		b := &e.slots[slot]
+		if b.tail < 0 {
+			b.head = n
+		} else {
+			e.arena[b.tail].next = n
+		}
+		b.tail = n
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.nwheel++
 		return
@@ -296,8 +320,7 @@ func (e *Engine) nextWhen() (mem.Cycle, bool) {
 		return e.overflow[0].when, true
 	}
 	slot := e.wheelScan()
-	b := &e.buckets[slot]
-	when := b.evs[b.head].when
+	when := e.arena[e.slots[slot].head].ev.when
 	if len(e.overflow) > 0 && e.overflow[0].when < when {
 		return e.overflow[0].when, true
 	}
@@ -314,8 +337,9 @@ func (e *Engine) pop() (event, bool) {
 		return e.overflow.pop(), true
 	}
 	slot := e.wheelScan()
-	b := &e.buckets[slot]
-	head := &b.evs[b.head]
+	b := &e.slots[slot]
+	hn := b.head
+	head := &e.arena[hn].ev
 	if len(e.overflow) > 0 {
 		if top := &e.overflow[0]; top.when < head.when ||
 			(top.when == head.when && top.seq < head.seq) {
@@ -324,12 +348,13 @@ func (e *Engine) pop() (event, bool) {
 	}
 	ev := *head
 	*head = event{} // release closure/ctx references
-	b.head++
-	if b.head == len(b.evs) {
-		b.evs = b.evs[:0]
-		b.head = 0
+	b.head = e.arena[hn].next
+	if b.head < 0 {
+		b.tail = -1
 		e.occ[slot>>6] &^= 1 << uint(slot&63)
 	}
+	e.arena[hn].next = e.free
+	e.free = hn
 	e.nwheel--
 	return ev, true
 }
